@@ -1,0 +1,101 @@
+// Command asapbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	asapbench -experiment fig7           # one figure, quick scale
+//	asapbench -experiment all -full      # everything, paper scale
+//
+// Experiments: fig1 fig7 fig8 fig9a fig9b fig10 lhwpq area config all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asap/internal/area"
+	"asap/internal/experiment"
+	"asap/internal/machine"
+	"asap/internal/report"
+)
+
+func main() {
+	which := flag.String("experiment", "all", "fig1|fig7|fig8|fig9a|fig9b|fig10|lhwpq|area|config|ablation-coalesce|ablation-structs|corun|design|fences|lifetime|numa|scaling|tail|all")
+	full := flag.Bool("full", false, "paper-scale runs (slower)")
+	chart := flag.Bool("chart", false, "render tables as ASCII bar charts")
+	flag.Parse()
+
+	scale := experiment.QuickScale()
+	if *full {
+		scale = experiment.FullScale()
+	}
+	show := func(t *experiment.Table) {
+		if *chart {
+			fmt.Println(report.Render(t, report.Options{Baseline: 1}))
+			return
+		}
+		fmt.Println(t)
+	}
+
+	run := map[string]func(){
+		"fig1": func() { show(experiment.Fig1(scale)) },
+		"fig7": func() {
+			show(experiment.Fig7(scale, 64))
+			show(experiment.Fig7(scale, 2048))
+		},
+		"fig8":  func() { show(experiment.Fig8(scale, 64)) },
+		"fig9a": func() { show(experiment.Fig9a(scale)) },
+		"fig9b": func() { show(experiment.Fig9b(scale)) },
+		"fig10": func() {
+			for _, t := range experiment.Fig10(scale) {
+				show(t)
+			}
+		},
+		"lhwpq":  func() { show(experiment.Sec74(scale)) },
+		"area":   func() { fmt.Println(area.Report(area.Default())) },
+		"config": func() { printConfig() },
+		"ablation-coalesce": func() {
+			show(experiment.AblationCoalesce(scale, "Q"))
+		},
+		"ablation-structs": func() {
+			show(experiment.AblationStructures(scale, "Q"))
+		},
+		"corun":    func() { show(experiment.CoRunning(scale)) },
+		"design":   func() { show(experiment.DesignChoice(scale)) },
+		"fences":   func() { show(experiment.FenceSweep(scale)) },
+		"lifetime": func() { show(experiment.Lifetime(scale)) },
+		"numa":     func() { show(experiment.NUMA(scale)) },
+		"tail":     func() { show(experiment.TailLatency(scale)) },
+		"scaling":  func() { show(experiment.Scaling(scale)) },
+	}
+
+	if *which == "all" {
+		for _, name := range []string{"config", "area", "fig1", "fig7", "fig8", "fig9a", "fig9b", "fig10", "lhwpq",
+			"ablation-coalesce", "ablation-structs", "corun", "design", "fences", "lifetime", "numa", "tail", "scaling"} {
+			fmt.Printf("==== %s ====\n", name)
+			run[name]()
+		}
+		return
+	}
+	fn, ok := run[*which]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+	fn()
+}
+
+func printConfig() {
+	cfg := machine.DefaultConfig()
+	fmt.Println("Table 2: system configuration")
+	fmt.Printf("  Cores                 %d\n", cfg.Cores)
+	fmt.Printf("  L1                    %d sets x %d ways, %d cycles\n", cfg.Caches.L1.Sets, cfg.Caches.L1.Ways, cfg.Caches.L1.Latency)
+	fmt.Printf("  L2                    %d sets x %d ways, %d cycles\n", cfg.Caches.L2.Sets, cfg.Caches.L2.Ways, cfg.Caches.L2.Latency)
+	fmt.Printf("  L3                    %d sets x %d ways, %d cycles\n", cfg.Caches.L3.Sets, cfg.Caches.L3.Ways, cfg.Caches.L3.Latency)
+	fmt.Printf("  Memory controllers    %d x %d channels\n", cfg.Mem.Controllers, cfg.Mem.ChannelsPerMC)
+	fmt.Printf("  WPQ                   %d entries/channel\n", cfg.Mem.WPQEntries)
+	fmt.Printf("  LH-WPQ                %d entries/channel\n", cfg.Mem.LHWPQEntries)
+	fmt.Printf("  DRAM read/write       %d/%d cycles\n", cfg.Mem.DRAMReadCycles, cfg.Mem.DRAMWriteCycles)
+	fmt.Printf("  PM read/write         %d/%d cycles (battery-backed DRAM) x %d\n", cfg.Mem.PMReadCycles, cfg.Mem.PMWriteCycles, cfg.Mem.PMLatencyMult)
+	fmt.Println()
+}

@@ -1,0 +1,84 @@
+// Command asapsim runs one Table 3 benchmark under one persistence scheme
+// and prints throughput, region latency and the hardware counters.
+//
+// Usage:
+//
+//	asapsim -bench Q -scheme ASAP -threads 4 -ops 500 -value 64 -pmmult 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"asap/internal/experiment"
+	"asap/internal/trace"
+	"asap/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "Q", "benchmark: BN BT CT EO HM Q RB SS TPCC")
+	scheme := flag.String("scheme", "ASAP", "scheme: NP SW SW-DPOOnly HWUndo HWRedo ASAP ASAP-Redo")
+	threads := flag.Int("threads", 4, "worker threads")
+	ops := flag.Int("ops", 500, "operations per thread")
+	items := flag.Int("items", 512, "initial items")
+	value := flag.Int("value", 64, "value bytes per operation (paper: 64 or 2048)")
+	pmmult := flag.Int("pmmult", 1, "PM latency multiplier (1, 2, 4, 16)")
+	lhwpq := flag.Int("lhwpq", 0, "LH-WPQ entries per channel (0 = default 128)")
+	verbose := flag.Bool("v", false, "dump all hardware counters")
+	traceN := flag.Int("trace", 0, "print the last N protocol events (ASAP only)")
+	flag.Parse()
+
+	if workload.ByName(*bench) == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	scale := experiment.Scale{
+		Threads:      *threads,
+		OpsPerThread: *ops,
+		InitialItems: *items,
+	}
+	var buf *trace.Buffer
+	if *traceN > 0 {
+		buf = trace.NewBuffer(*traceN)
+	}
+	res := experiment.Run(experiment.Variant{
+		Scheme: *scheme,
+		PMMult: *pmmult,
+		LHWPQ:  *lhwpq,
+		Trace:  buf,
+	}, *bench, scale, *value)
+
+	fmt.Printf("benchmark   %s\n", res.Benchmark)
+	fmt.Printf("scheme      %s\n", res.Scheme)
+	fmt.Printf("ops         %d\n", res.Ops)
+	fmt.Printf("cycles      %d\n", res.Cycles)
+	fmt.Printf("throughput  %.4f ops/kcycle\n", res.Throughput())
+	fmt.Printf("cyc/region  %.1f\n", res.CyclesPerRegion())
+	fmt.Printf("consistency %s\n", orOK(res.CheckErr))
+	fmt.Printf("region lat  p50=%d p95=%d p99=%d cycles\n", res.RegionP50, res.RegionP95, res.RegionP99)
+	if buf != nil {
+		fmt.Println(strings.Repeat("-", 40))
+		fmt.Print(buf.String())
+	}
+	if *verbose {
+		names := make([]string, 0, len(res.Stats))
+		for k := range res.Stats {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Repeat("-", 40))
+		for _, k := range names {
+			fmt.Printf("%-24s %12d\n", k, res.Stats[k])
+		}
+	}
+}
+
+func orOK(s string) string {
+	if s == "" {
+		return "OK"
+	}
+	return s
+}

@@ -1,0 +1,54 @@
+package asap
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"asap/internal/arch"
+	"asap/internal/core"
+)
+
+// Save serializes the crash state (the persisted image plus the
+// persistence-domain metadata recovery needs) so it can be stored and
+// recovered later, possibly in another process — the moral equivalent of
+// the machine sitting powered off.
+func (c *CrashState) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(c.cs); err != nil {
+		return fmt.Errorf("asap: saving crash state: %w", err)
+	}
+	return nil
+}
+
+// LoadCrashState reads a crash state previously written by Save. The
+// result supports Recover and the image readers exactly like a live one.
+func LoadCrashState(r io.Reader) (*CrashState, error) {
+	cs := &core.CrashState{}
+	if err := gob.NewDecoder(r).Decode(cs); err != nil {
+		return nil, fmt.Errorf("asap: loading crash state: %w", err)
+	}
+	return &CrashState{cs: cs}, nil
+}
+
+// NewSystemFromCrash builds a fresh system — the machine after the power
+// was restored — whose persistent memory holds exactly the recovered
+// image. Call Recover on the crash state first; volatile state (caches,
+// DRAM, thread registers) starts empty, as §5.5's recovery leaves it.
+// The allocator resumes above every recovered line, so existing structures
+// are never re-allocated over.
+func NewSystemFromCrash(cfg Config, c *CrashState) (*System, error) {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	heap := sys.m.Heap
+	pm := sys.m.Fabric.PM()
+	c.cs.Image.Lines(func(line arch.LineAddr, payload []byte) {
+		// The architectural memory and the device contents both carry the
+		// recovered bytes: it is the same physical module, power-cycled.
+		heap.Write(uint64(line), payload)
+		pm.Write(line, payload)
+		heap.Reserve(uint64(line) + arch.LineSize - 1)
+	})
+	return sys, nil
+}

@@ -1,0 +1,54 @@
+// Package arch holds the handful of architectural types shared by every
+// layer of the simulator: region IDs, cache-line addressing, and the line
+// size constant.
+package arch
+
+import "fmt"
+
+// LineSize is the cache line size in bytes. All persist operations (LPOs and
+// DPOs) move one line.
+const LineSize = 64
+
+// LineShift is log2(LineSize).
+const LineShift = 6
+
+// LineAddr is a cache-line-aligned physical address (the low LineShift bits
+// are zero).
+type LineAddr uint64
+
+// LineOf returns the line containing byte address addr.
+func LineOf(addr uint64) LineAddr { return LineAddr(addr &^ (LineSize - 1)) }
+
+// RID identifies an atomic region (§5.6): the ThreadID in the upper half
+// differentiates regions from different threads, the LocalRID in the lower
+// half differentiates regions of one thread. Composing the thread ID into
+// the RID removes any need to synchronize RID assignment across threads.
+//
+// RID 0 is reserved as "no region".
+type RID uint64
+
+// NoRID is the zero RID, meaning "not owned by any region".
+const NoRID RID = 0
+
+// MakeRID builds a region ID from a thread ID and that thread's local
+// region counter. local must be nonzero so that no valid RID equals NoRID.
+func MakeRID(thread int, local uint64) RID {
+	if local == 0 {
+		panic("arch: LocalRID must be nonzero")
+	}
+	return RID(uint64(thread)<<32 | local&0xffffffff)
+}
+
+// Thread returns the thread ID part of the RID.
+func (r RID) Thread() int { return int(uint64(r) >> 32) }
+
+// Local returns the per-thread region counter part of the RID.
+func (r RID) Local() uint64 { return uint64(r) & 0xffffffff }
+
+// String formats the RID as "T<thread>.R<local>".
+func (r RID) String() string {
+	if r == NoRID {
+		return "R-none"
+	}
+	return fmt.Sprintf("T%d.R%d", r.Thread(), r.Local())
+}

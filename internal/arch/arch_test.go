@@ -1,0 +1,69 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineOf(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		want LineAddr
+	}{
+		{0, 0},
+		{1, 0},
+		{63, 0},
+		{64, 64},
+		{65, 64},
+		{127, 64},
+		{128, 128},
+		{1<<40 + 17, 1 << 40},
+	}
+	for _, c := range cases {
+		if got := LineOf(c.addr); got != c.want {
+			t.Errorf("LineOf(%d) = %d, want %d", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestRIDRoundTrip(t *testing.T) {
+	f := func(thread uint16, local uint32) bool {
+		if local == 0 {
+			local = 1
+		}
+		r := MakeRID(int(thread), uint64(local))
+		return r.Thread() == int(thread) && r.Local() == uint64(local) && r != NoRID
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRIDOrderWithinThread(t *testing.T) {
+	// Successive regions of one thread must have increasing RIDs: the
+	// control-dependence capture in §4.5 relies on CurRID-1 being the
+	// previous region.
+	a := MakeRID(3, 10)
+	b := MakeRID(3, 11)
+	if b <= a {
+		t.Fatalf("RIDs not increasing: %v then %v", a, b)
+	}
+}
+
+func TestMakeRIDZeroLocalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for local=0")
+		}
+	}()
+	MakeRID(1, 0)
+}
+
+func TestRIDString(t *testing.T) {
+	if got := MakeRID(2, 7).String(); got != "T2.R7" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := NoRID.String(); got != "R-none" {
+		t.Fatalf("NoRID.String = %q", got)
+	}
+}

@@ -1,0 +1,132 @@
+// Package area reproduces the §6.2 hardware-overhead accounting: the byte
+// sizes of every structure ASAP adds and an analytic estimate of the chip
+// area fraction they occupy. The paper used McPAT; here the same structure
+// sizes are computed exactly from the configuration and converted to an
+// area fraction with a constant SRAM-density model, which preserves the
+// paper's "< 3 % of typical CPU chip size" conclusion.
+package area
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config mirrors the hardware parameters that size ASAP's structures.
+type Config struct {
+	Cores           int
+	Channels        int
+	CLListEntries   int // per core
+	CLPtrSlots      int // per entry
+	DepListEntries  int // per channel
+	DepSlots        int // per entry
+	LHWPQEntries    int // per channel
+	BloomBytesPerCh int
+	ThreadsPerCore  int
+	L1LinesPerCore  int
+	L2LinesPerCore  int
+	L3Lines         int
+}
+
+// Default returns the Table 2 / §6.2 configuration.
+func Default() Config {
+	return Config{
+		Cores:           18,
+		Channels:        4,
+		CLListEntries:   4,
+		CLPtrSlots:      8,
+		DepListEntries:  128,
+		DepSlots:        4,
+		LHWPQEntries:    128,
+		BloomBytesPerCh: 1024,
+		ThreadsPerCore:  1,
+		L1LinesPerCore:  32 * 1024 / 64,
+		L2LinesPerCore:  1024 * 1024 / 64,
+		L3Lines:         8 * 1024 * 1024 / 64,
+	}
+}
+
+// Breakdown reports the size of each added structure in bytes.
+type Breakdown struct {
+	CLListPerCore      int // §6.2: 49 B/core at the default configuration
+	CLListTotal        int
+	DepListPerChannel  int
+	DepListTotal       int
+	LHWPQPerEntry      int // §6.2: 70 B/entry
+	LHWPQTotal         int
+	BloomTotal         int
+	ThreadStateRegs    int // 6 registers x 8 B per thread
+	TagExtensionsTotal int // PBit + LockBit + OwnerRID per cache line
+	Total              int
+}
+
+// CLListEntryBytes returns the size of one CL List entry: CLPtr slots at
+// 1 B each, a 2-bit state, and a 4 B RID (§6.2).
+func CLListEntryBytes(slots int) float64 {
+	return float64(slots)*1 + 2.0/8 + 4
+}
+
+// DepEntryBytes returns the size of one Dependence List entry: Dep slots
+// at 4 B each, a 2-bit state, and a 4 B RID (§6.2).
+func DepEntryBytes(slots int) float64 {
+	return float64(slots)*4 + 2.0/8 + 4
+}
+
+// LHWPQEntryBytes returns one LH-WPQ entry: a 6 B LogHeaderAddr plus the
+// 64 B LogHeader (§6.2).
+const LHWPQEntryBytes = 6 + 64
+
+// tagExtensionBits is PBit(1) + LockBit(1) + OwnerRID(32) per cache line.
+const tagExtensionBits = 1 + 1 + 32
+
+// Compute sizes every structure for cfg.
+func Compute(cfg Config) Breakdown {
+	var b Breakdown
+	b.CLListPerCore = ceil(float64(cfg.CLListEntries) * CLListEntryBytes(cfg.CLPtrSlots))
+	b.CLListTotal = b.CLListPerCore * cfg.Cores
+	b.DepListPerChannel = ceil(float64(cfg.DepListEntries) * DepEntryBytes(cfg.DepSlots))
+	b.DepListTotal = b.DepListPerChannel * cfg.Channels
+	b.LHWPQPerEntry = LHWPQEntryBytes
+	b.LHWPQTotal = cfg.LHWPQEntries * cfg.Channels * LHWPQEntryBytes
+	b.BloomTotal = cfg.BloomBytesPerCh * cfg.Channels
+	b.ThreadStateRegs = cfg.Cores * cfg.ThreadsPerCore * 6 * 8
+	lines := cfg.Cores*(cfg.L1LinesPerCore+cfg.L2LinesPerCore) + cfg.L3Lines
+	b.TagExtensionsTotal = ceil(float64(lines) * tagExtensionBits / 8)
+	b.Total = b.CLListTotal + b.DepListTotal + b.LHWPQTotal + b.BloomTotal +
+		b.ThreadStateRegs + b.TagExtensionsTotal
+	return b
+}
+
+// AreaFraction estimates the added structures as a fraction of the chip's
+// SRAM budget, approximated by the cache capacity (data + tags): the
+// denominator a McPAT run would dominate with. The §6.2 result is ~2.5 %.
+func AreaFraction(cfg Config) float64 {
+	b := Compute(cfg)
+	cacheBytes := (cfg.Cores*(cfg.L1LinesPerCore+cfg.L2LinesPerCore) + cfg.L3Lines) * (64 + 8)
+	// Cache SRAM occupies roughly 40 % of a server-class die; scale so the
+	// fraction is of total chip area, as the paper reports.
+	return float64(b.Total) / (float64(cacheBytes) * 2.5)
+}
+
+func ceil(f float64) int {
+	n := int(f)
+	if float64(n) < f {
+		n++
+	}
+	return n
+}
+
+// Report renders the §6.2 table.
+func Report(cfg Config) string {
+	b := Compute(cfg)
+	var s strings.Builder
+	fmt.Fprintf(&s, "ASAP hardware overhead (Section 6.2)\n")
+	fmt.Fprintf(&s, "  CL List            %4d B/core   x %2d cores    = %7d B\n", b.CLListPerCore, cfg.Cores, b.CLListTotal)
+	fmt.Fprintf(&s, "  Dependence List    %4d B/chan   x %2d channels = %7d B\n", b.DepListPerChannel, cfg.Channels, b.DepListTotal)
+	fmt.Fprintf(&s, "  LH-WPQ             %4d B/entry  x %2d*%d        = %7d B\n", b.LHWPQPerEntry, cfg.LHWPQEntries, cfg.Channels, b.LHWPQTotal)
+	fmt.Fprintf(&s, "  Bloom filter       %4d B/chan   x %2d channels = %7d B\n", cfg.BloomBytesPerCh, cfg.Channels, b.BloomTotal)
+	fmt.Fprintf(&s, "  Thread state regs  %4d B total\n", b.ThreadStateRegs)
+	fmt.Fprintf(&s, "  Tag extensions     %d B across L1/L2/L3\n", b.TagExtensionsTotal)
+	fmt.Fprintf(&s, "  Total              %d B\n", b.Total)
+	fmt.Fprintf(&s, "  Estimated area     %.2f%% of chip (paper: ~2.5%%, <3%%)\n", AreaFraction(cfg)*100)
+	return s.String()
+}

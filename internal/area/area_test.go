@@ -1,0 +1,58 @@
+package area
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCLListEntryMatchesPaper(t *testing.T) {
+	// §6.2: the CL List "size is 49B (8 CLPtrs/entry, 1 B/CLPtrs,
+	// 2 bits/State, 4 B/RID)" — i.e. 4 entries x 12.25 B = 49 B per core.
+	cfg := Default()
+	b := Compute(cfg)
+	if b.CLListPerCore != 49 {
+		t.Fatalf("CL List per core = %d B, paper says 49 B", b.CLListPerCore)
+	}
+}
+
+func TestLHWPQEntryMatchesPaper(t *testing.T) {
+	// §6.2: "The LH-WPQ has 70B/entry (6B LogHeaderAddr, 64B/LogHeader)".
+	if LHWPQEntryBytes != 70 {
+		t.Fatalf("LH-WPQ entry = %d B, paper says 70 B", LHWPQEntryBytes)
+	}
+}
+
+func TestDepEntryMatchesPaper(t *testing.T) {
+	// §6.2: 4 Dep/entry x 4B + 2 bits State + 4B RID = 20.25 B -> the
+	// 128-entry channel list rounds to 2592 B.
+	b := Compute(Default())
+	if b.DepListPerChannel != 2592 {
+		t.Fatalf("Dep List per channel = %d B, want 2592", b.DepListPerChannel)
+	}
+}
+
+func TestAreaFractionUnderThreePercent(t *testing.T) {
+	frac := AreaFraction(Default())
+	if frac <= 0 || frac >= 0.03 {
+		t.Fatalf("area fraction = %.4f, paper says < 3%%", frac)
+	}
+}
+
+func TestReportMentionsEveryStructure(t *testing.T) {
+	r := Report(Default())
+	for _, want := range []string{"CL List", "Dependence List", "LH-WPQ", "Bloom", "Tag extensions", "Total"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("report missing %q:\n%s", want, r)
+		}
+	}
+}
+
+func TestTotalScalesWithCores(t *testing.T) {
+	small := Default()
+	small.Cores = 2
+	big := Default()
+	big.Cores = 64
+	if Compute(small).Total >= Compute(big).Total {
+		t.Fatal("total must grow with core count")
+	}
+}

@@ -1,0 +1,32 @@
+// Package cache models the three-level cache hierarchy of Table 2 with the
+// tag extensions ASAP adds (§4.6): a PBit marking persistent lines, a
+// LockBit pinning a line until its LPO completes, and an OwnerRID naming
+// the atomic region that last wrote the line.
+//
+// L1 and L2 are private per core; L3 is shared and inclusive. Tag-extension
+// metadata is kept in a single coherent table (hardware keeps it coherent
+// alongside the line; we model the post-coherence state directly).
+package cache
+
+// LevelConfig sizes one cache level.
+type LevelConfig struct {
+	Sets    int
+	Ways    int
+	Latency uint64 // total hit latency seen by the core, in cycles
+}
+
+// Config describes the hierarchy. Defaults mirror Table 2.
+type Config struct {
+	L1 LevelConfig // 32 KB/core, 8-way, 4 cycles
+	L2 LevelConfig // 1 MB/core, 16-way, 14 cycles
+	L3 LevelConfig // 8 MB shared, 16-way, 42 cycles
+}
+
+// DefaultConfig returns the Table 2 cache hierarchy.
+func DefaultConfig() Config {
+	return Config{
+		L1: LevelConfig{Sets: 64, Ways: 8, Latency: 4},     // 64*8*64B = 32 KB
+		L2: LevelConfig{Sets: 1024, Ways: 16, Latency: 14}, // 1 MB
+		L3: LevelConfig{Sets: 8192, Ways: 16, Latency: 42}, // 8 MB
+	}
+}

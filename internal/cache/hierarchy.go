@@ -1,0 +1,285 @@
+package cache
+
+import (
+	"asap/internal/arch"
+	"asap/internal/memdev"
+	"asap/internal/sim"
+	"asap/internal/stats"
+)
+
+// EvictInfo describes a persistent line leaving the LLC, handed to the
+// engine so it can issue the PM writeback and spill the OwnerRID (§5.3).
+type EvictInfo struct {
+	Line  arch.LineAddr
+	Dirty bool
+	Meta  *Meta
+}
+
+// Hierarchy is the full cache system: private L1/L2 per core, a shared
+// inclusive L3, and the tag-extension table.
+type Hierarchy struct {
+	cfg    Config
+	st     *stats.Set
+	fabric *memdev.Fabric
+	cores  int
+	l1, l2 []*level
+	l3     *level
+	table  *Table
+
+	// onLLCEvict is called for every persistent line evicted from the L3
+	// (dirty or clean); nil-safe. Dirty non-persistent lines are written
+	// back to DRAM internally.
+	onLLCEvict func(EvictInfo)
+	// onFill is called when a persistent line enters the L3 from memory,
+	// letting the engine reload a spilled OwnerRID (§5.3); nil-safe.
+	onFill func(arch.LineAddr, *Meta)
+}
+
+// NewHierarchy builds the hierarchy for the given core count. isPersistent
+// is the page-table persistence bit.
+func NewHierarchy(st *stats.Set, fabric *memdev.Fabric, cores int, cfg Config, isPersistent func(arch.LineAddr) bool) *Hierarchy {
+	h := &Hierarchy{
+		cfg:    cfg,
+		st:     st,
+		fabric: fabric,
+		cores:  cores,
+		l3:     newLevel(cfg.L3),
+		table:  NewTable(isPersistent),
+	}
+	for i := 0; i < cores; i++ {
+		h.l1 = append(h.l1, newLevel(cfg.L1))
+		h.l2 = append(h.l2, newLevel(cfg.L2))
+	}
+	return h
+}
+
+// SetEvictHook installs the engine's LLC-eviction callback.
+func (h *Hierarchy) SetEvictHook(fn func(EvictInfo)) { h.onLLCEvict = fn }
+
+// SetFillHook installs the engine's memory-fill callback.
+func (h *Hierarchy) SetFillHook(fn func(arch.LineAddr, *Meta)) { h.onFill = fn }
+
+// Table returns the tag-extension table.
+func (h *Hierarchy) Table() *Table { return h.table }
+
+func (h *Hierarchy) pinned(line arch.LineAddr) bool {
+	m := h.table.Peek(line)
+	return m != nil && m.LockBit
+}
+
+// CanAccess reports whether an access by core to line could allocate all
+// the slots it needs right now (no set is fully pinned by LockBits).
+func (h *Hierarchy) CanAccess(core int, line arch.LineAddr) bool {
+	if h.l1[core].lookup(line) == nil && h.l1[core].victim(line, h.pinned) == nil {
+		return false
+	}
+	if h.l2[core].lookup(line) == nil && h.l2[core].victim(line, h.pinned) == nil {
+		return false
+	}
+	if h.l3.lookup(line) == nil && h.l3.victim(line, h.pinned) == nil {
+		return false
+	}
+	return true
+}
+
+// Access performs one load or store by core to line and returns the hit
+// latency in cycles. ok is false — with no state changed — when a needed
+// set is fully pinned by LockBits; the caller stalls and retries.
+func (h *Hierarchy) Access(core int, line arch.LineAddr, write bool) (latency uint64, ok bool) {
+	if !h.CanAccess(core, line) {
+		return 0, false
+	}
+	m := h.table.Get(line)
+
+	latency = h.cfg.L1.Latency
+	if s := h.l1[core].lookup(line); s != nil {
+		h.st.Inc(stats.L1Hits)
+		h.l1[core].touch(s)
+		if write {
+			s.dirty = true
+			h.invalidateOthers(core, m)
+		}
+		return latency, true
+	}
+	h.st.Inc(stats.L1Misses)
+
+	switch {
+	case h.l2[core].lookup(line) != nil:
+		h.st.Inc(stats.L2Hits)
+		latency = h.cfg.L2.Latency
+	case h.l3.lookup(line) != nil:
+		h.st.Inc(stats.L2Misses)
+		h.st.Inc(stats.L3Hits)
+		h.l3.touch(h.l3.lookup(line))
+		latency = h.cfg.L3.Latency
+	default:
+		h.st.Inc(stats.L2Misses)
+		h.st.Inc(stats.L3Misses)
+		latency = h.cfg.L3.Latency + h.fabric.ReadLatency(line, m.PBit)
+		h.fillL3(line)
+		if m.PBit && h.onFill != nil {
+			h.onFill(line, m)
+		}
+	}
+	h.fillL2(core, line)
+	s := h.fillL1(core, line)
+	if write {
+		s.dirty = true
+		h.invalidateOthers(core, m)
+	}
+	m.holders |= 1 << uint(core)
+	return latency, true
+}
+
+// fillL1 installs line into core's L1 (evicting the victim down into L2)
+// and returns its slot.
+func (h *Hierarchy) fillL1(core int, line arch.LineAddr) *slot {
+	l := h.l1[core]
+	if s := l.lookup(line); s != nil {
+		l.touch(s)
+		return s
+	}
+	v := l.victim(line, h.pinned)
+	if v.valid {
+		// Inclusive hierarchy: the victim is in L2; merge dirtiness there.
+		if s2 := h.l2[core].lookup(v.line); s2 != nil {
+			s2.dirty = s2.dirty || v.dirty
+		}
+	}
+	l.install(v, line, false)
+	return v
+}
+
+func (h *Hierarchy) fillL2(core int, line arch.LineAddr) {
+	l := h.l2[core]
+	if s := l.lookup(line); s != nil {
+		l.touch(s)
+		return
+	}
+	v := l.victim(line, h.pinned)
+	if v.valid {
+		h.evictFromPrivate(core, v.line, v.dirty, 1) // drop L1 copy, merge into L3
+	}
+	l.install(v, line, false)
+}
+
+func (h *Hierarchy) fillL3(line arch.LineAddr) {
+	if s := h.l3.lookup(line); s != nil {
+		h.l3.touch(s)
+		return
+	}
+	v := h.l3.victim(line, h.pinned)
+	if v.valid {
+		h.evictFromLLC(v.line, v.dirty)
+	}
+	h.l3.install(v, line, false)
+}
+
+// evictFromPrivate removes line from one core's private caches down to the
+// given depth (1 = L1 only) merging dirtiness into L3, updating holders.
+func (h *Hierarchy) evictFromPrivate(core int, line arch.LineAddr, dirty bool, depth int) {
+	if p, d := h.l1[core].invalidate(line); p {
+		dirty = dirty || d
+	}
+	if depth > 1 {
+		if p, d := h.l2[core].invalidate(line); p {
+			dirty = dirty || d
+		}
+	}
+	if h.l2[core].lookup(line) == nil {
+		if m := h.table.Peek(line); m != nil {
+			m.holders &^= 1 << uint(core)
+		}
+	}
+	if dirty {
+		if s3 := h.l3.lookup(line); s3 != nil {
+			s3.dirty = true
+		}
+	}
+}
+
+// evictFromLLC removes line from the whole hierarchy (back-invalidation)
+// and hands it to memory: persistent lines go to the engine hook, dirty
+// volatile lines to DRAM.
+func (h *Hierarchy) evictFromLLC(line arch.LineAddr, dirty bool) {
+	m := h.table.Get(line)
+	for core := 0; core < h.cores; core++ {
+		if m.holders&(1<<uint(core)) == 0 {
+			continue
+		}
+		if p, d := h.l1[core].invalidate(line); p {
+			dirty = dirty || d
+		}
+		if p, d := h.l2[core].invalidate(line); p {
+			dirty = dirty || d
+		}
+	}
+	m.holders = 0
+	h.st.Inc(stats.Evictions)
+	if m.PBit {
+		if h.onLLCEvict != nil {
+			h.onLLCEvict(EvictInfo{Line: line, Dirty: dirty, Meta: m})
+		}
+		return
+	}
+	if dirty {
+		h.fabric.WriteBackDRAM()
+	}
+}
+
+// invalidateOthers removes every other core's private copies of m's line
+// when one core writes it (write-invalidate coherence), merging dirtiness
+// into the L3.
+func (h *Hierarchy) invalidateOthers(core int, m *Meta) {
+	for other := 0; other < h.cores; other++ {
+		if other == core || m.holders&(1<<uint(other)) == 0 {
+			continue
+		}
+		dirty := false
+		if p, d := h.l1[other].invalidate(m.line); p {
+			dirty = dirty || d
+		}
+		if p, d := h.l2[other].invalidate(m.line); p {
+			dirty = dirty || d
+		}
+		if dirty {
+			if s3 := h.l3.lookup(m.line); s3 != nil {
+				s3.dirty = true
+			}
+		}
+		m.holders &^= 1 << uint(other)
+	}
+}
+
+// MarkClean clears the dirty bit of line everywhere: called when a DPO has
+// persisted the line's current content in place.
+func (h *Hierarchy) MarkClean(line arch.LineAddr) {
+	for core := 0; core < h.cores; core++ {
+		if s := h.l1[core].lookup(line); s != nil {
+			s.dirty = false
+		}
+		if s := h.l2[core].lookup(line); s != nil {
+			s.dirty = false
+		}
+	}
+	if s := h.l3.lookup(line); s != nil {
+		s.dirty = false
+	}
+}
+
+// Present reports whether line is anywhere in the hierarchy.
+func (h *Hierarchy) Present(line arch.LineAddr) bool {
+	return h.l3.lookup(line) != nil
+}
+
+// AccessBlocking is Access plus the stall path: if a needed set is fully
+// pinned, the thread waits in simulated time until a LockBit clears.
+func (h *Hierarchy) AccessBlocking(t *sim.Thread, core int, line arch.LineAddr, write bool) uint64 {
+	for {
+		lat, ok := h.Access(core, line, write)
+		if ok {
+			return lat
+		}
+		t.WaitUntil(func() bool { return h.CanAccess(core, line) })
+	}
+}

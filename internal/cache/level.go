@@ -1,0 +1,85 @@
+package cache
+
+import "asap/internal/arch"
+
+// slot is one way of one set.
+type slot struct {
+	line    arch.LineAddr
+	valid   bool
+	dirty   bool
+	lastUse uint64
+}
+
+// level is one cache array (an L1, an L2, or the shared L3).
+type level struct {
+	cfg   LevelConfig
+	sets  [][]slot
+	clock uint64 // LRU timestamp source
+}
+
+func newLevel(cfg LevelConfig) *level {
+	l := &level{cfg: cfg, sets: make([][]slot, cfg.Sets)}
+	for i := range l.sets {
+		l.sets[i] = make([]slot, cfg.Ways)
+	}
+	return l
+}
+
+func (l *level) setOf(line arch.LineAddr) []slot {
+	return l.sets[int(uint64(line)>>arch.LineShift)%l.cfg.Sets]
+}
+
+// lookup returns the slot holding line, or nil.
+func (l *level) lookup(line arch.LineAddr) *slot {
+	set := l.setOf(line)
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+func (l *level) touch(s *slot) {
+	l.clock++
+	s.lastUse = l.clock
+}
+
+// victim picks the fill target in line's set: an invalid way if any,
+// otherwise the LRU way among those whose lines are not pinned (LockBit).
+// Returns nil if every way is pinned — the caller must stall.
+func (l *level) victim(line arch.LineAddr, pinned func(arch.LineAddr) bool) *slot {
+	set := l.setOf(line)
+	var lru *slot
+	for i := range set {
+		s := &set[i]
+		if !s.valid {
+			return s
+		}
+		if pinned(s.line) {
+			continue
+		}
+		if lru == nil || s.lastUse < lru.lastUse {
+			lru = s
+		}
+	}
+	return lru
+}
+
+// invalidate drops line from the level, returning whether it was present
+// and whether it was dirty.
+func (l *level) invalidate(line arch.LineAddr) (present, dirty bool) {
+	if s := l.lookup(line); s != nil {
+		s.valid = false
+		return true, s.dirty
+	}
+	return false, false
+}
+
+// install places line into the given slot (already chosen by victim).
+func (l *level) install(s *slot, line arch.LineAddr, dirty bool) {
+	s.line = line
+	s.valid = true
+	s.dirty = dirty
+	l.touch(s)
+}

@@ -1,0 +1,65 @@
+package cache
+
+import "asap/internal/arch"
+
+// Meta is the tag-extension state of one cache line (§4.6, Figure 3 ❷).
+// Hardware replicates these bits next to every cached copy and keeps them
+// coherent; the simulator keeps the single post-coherence value per line.
+type Meta struct {
+	line arch.LineAddr
+
+	// PBit marks the line as persistent-memory data; set from the page
+	// table bit when the line is brought into the cache.
+	PBit bool
+	// LockBit is set between initiating a line's LPO and the LPO's
+	// completion: while set, the line may be neither written back (DPO)
+	// nor evicted (§4.6.1).
+	LockBit bool
+	// Owner is the atomic region that last wrote the line, or NoRID.
+	Owner arch.RID
+
+	// holders is a bitmask of cores whose private (L1/L2) caches hold the
+	// line; used for write invalidations.
+	holders uint64
+}
+
+// Line returns the line address this metadata describes.
+func (m *Meta) Line() arch.LineAddr { return m.line }
+
+// Table is the line-metadata registry for the whole hierarchy.
+type Table struct {
+	meta         map[arch.LineAddr]*Meta
+	isPersistent func(arch.LineAddr) bool
+}
+
+// NewTable builds a metadata table. isPersistent is the page-table lookup
+// that seeds the PBit on first touch.
+func NewTable(isPersistent func(arch.LineAddr) bool) *Table {
+	return &Table{meta: make(map[arch.LineAddr]*Meta), isPersistent: isPersistent}
+}
+
+// Get returns the metadata for line, creating it (with the PBit seeded from
+// the page table) on first touch.
+func (t *Table) Get(line arch.LineAddr) *Meta {
+	m, ok := t.meta[line]
+	if !ok {
+		m = &Meta{line: line, PBit: t.isPersistent(line)}
+		t.meta[line] = m
+	}
+	return m
+}
+
+// Peek returns the metadata for line without creating it.
+func (t *Table) Peek(line arch.LineAddr) *Meta { return t.meta[line] }
+
+// LockedCount returns how many lines currently have the LockBit set
+// (diagnostics and invariant tests).
+func (t *Table) LockedCount() int {
+	n := 0
+	for _, m := range t.meta {
+		if m.LockBit {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,52 @@
+package core
+
+import "asap/internal/arch"
+
+// bloom is the non-counting Bloom filter of §5.3 (Table 2: 1 KB/channel):
+// it answers "might this line have a spilled OwnerRID in the DRAM buffer?"
+// so that not every PM fill costs a DRAM buffer probe. It is cleared
+// whenever the Dependence Lists empty out, which is the only way a
+// non-counting filter can forget.
+type bloom struct {
+	bits []uint64
+	mask uint64
+}
+
+// newBloom builds a filter with the given number of bits (rounded up to a
+// power of two, minimum 64).
+func newBloom(nbits int) *bloom {
+	n := uint64(64)
+	for n < uint64(nbits) {
+		n <<= 1
+	}
+	return &bloom{bits: make([]uint64, n/64), mask: n - 1}
+}
+
+// two cheap independent hashes of the line number.
+func (b *bloom) hashes(line arch.LineAddr) (uint64, uint64) {
+	x := uint64(line) >> arch.LineShift
+	h1 := x * 0x9e3779b97f4a7c15
+	h2 := (x ^ 0xdeadbeefcafef00d) * 0xc2b2ae3d27d4eb4f
+	return h1 & b.mask, (h2 >> 7) & b.mask
+}
+
+// Add records line in the filter.
+func (b *bloom) Add(line arch.LineAddr) {
+	h1, h2 := b.hashes(line)
+	b.bits[h1/64] |= 1 << (h1 % 64)
+	b.bits[h2/64] |= 1 << (h2 % 64)
+}
+
+// MayContain reports whether line could have been added (false positives
+// possible, false negatives impossible).
+func (b *bloom) MayContain(line arch.LineAddr) bool {
+	h1, h2 := b.hashes(line)
+	return b.bits[h1/64]&(1<<(h1%64)) != 0 && b.bits[h2/64]&(1<<(h2%64)) != 0
+}
+
+// Clear empties the filter (safe whenever no uncommitted regions exist).
+func (b *bloom) Clear() {
+	for i := range b.bits {
+		b.bits[i] = 0
+	}
+}

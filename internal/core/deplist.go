@@ -1,0 +1,94 @@
+package core
+
+import "asap/internal/arch"
+
+// DepEntry is one Dependence List entry (Figure 3 ❹): an uncommitted
+// atomic region, its StateMC (Done once all its modified lines have
+// persisted), and up to DepSlots regions it still depends on.
+type DepEntry struct {
+	RID  arch.RID
+	Done bool
+	Deps map[arch.RID]struct{}
+}
+
+// HasDep reports whether r is among the entry's unresolved dependencies.
+func (e *DepEntry) HasDep(r arch.RID) bool {
+	_, ok := e.Deps[r]
+	return ok
+}
+
+// DependenceList is one memory channel's slice of the Dependence List:
+// part of the memory controller and of the persistence domain (§4.3), so
+// its contents survive a crash and drive recovery ordering (§5.5).
+type DependenceList struct {
+	cap     int
+	slotCap int
+	entries map[arch.RID]*DepEntry
+}
+
+// NewDependenceList builds a list with the given entry capacity and Dep
+// slots per entry (Table 2: 128 entries/channel, 4 Dep slots).
+func NewDependenceList(capacity, slots int) *DependenceList {
+	return &DependenceList{cap: capacity, slotCap: slots, entries: make(map[arch.RID]*DepEntry)}
+}
+
+// HasSpace reports whether a new region entry can be created.
+func (l *DependenceList) HasSpace() bool { return len(l.entries) < l.cap }
+
+// Add creates the entry for region r; it panics on overflow (callers gate
+// on HasSpace, stalling in simulated time) or duplicates.
+func (l *DependenceList) Add(r arch.RID) *DepEntry {
+	if !l.HasSpace() {
+		panic("core: Dependence List overflow")
+	}
+	if _, ok := l.entries[r]; ok {
+		panic("core: duplicate Dependence List entry " + r.String())
+	}
+	e := &DepEntry{RID: r, Deps: make(map[arch.RID]struct{})}
+	l.entries[r] = e
+	return e
+}
+
+// Get returns region r's entry, or nil once r has committed.
+func (l *DependenceList) Get(r arch.RID) *DepEntry { return l.entries[r] }
+
+// Remove deletes region r's entry (commit step ④).
+func (l *DependenceList) Remove(r arch.RID) { delete(l.entries, r) }
+
+// Len returns the number of occupied entries.
+func (l *DependenceList) Len() int { return len(l.entries) }
+
+// SlotCap returns the Dep slots per entry.
+func (l *DependenceList) SlotCap() int { return l.slotCap }
+
+// CanAddDep reports whether entry e can record a dependence on dep right
+// now: either it already has it, or a Dep slot is free.
+func (l *DependenceList) CanAddDep(e *DepEntry, dep arch.RID) bool {
+	if e.HasDep(dep) {
+		return true
+	}
+	return len(e.Deps) < l.slotCap
+}
+
+// AddDep records that e's region depends on dep. Panics when full.
+func (l *DependenceList) AddDep(e *DepEntry, dep arch.RID) {
+	if e.HasDep(dep) {
+		return
+	}
+	if len(e.Deps) >= l.slotCap {
+		panic("core: Dep slots overflow for " + e.RID.String())
+	}
+	e.Deps[dep] = struct{}{}
+}
+
+// ClearDep removes dep from e's slots (commit broadcast).
+func (e *DepEntry) ClearDep(dep arch.RID) { delete(e.Deps, dep) }
+
+// Entries returns the live entries (iteration order unspecified).
+func (l *DependenceList) Entries() []*DepEntry {
+	out := make([]*DepEntry, 0, len(l.entries))
+	for _, e := range l.entries {
+		out = append(out, e)
+	}
+	return out
+}

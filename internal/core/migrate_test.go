@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"asap/internal/machine"
+	"asap/internal/sim"
+	"asap/internal/stats"
+)
+
+func TestMigrateMidRegion(t *testing.T) {
+	m, e := testRig(DefaultOptions(), nil)
+	base := m.Heap.Alloc(64*8, true)
+	var coreAfter int
+	run(m, e, func(th *sim.Thread) {
+		e.Begin(th)
+		storeU64(e, th, base, 1)
+		storeU64(e, th, base+64, 2)
+		e.Migrate(th, 2) // context switch with the region in progress
+		storeU64(e, th, base+128, 3)
+		e.End(th)
+		coreAfter = m.CoreOf(th)
+	})
+	if m.St.Get(stats.RegionsCommitted) != 1 {
+		t.Fatal("migrated region did not commit")
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if got := m.Heap.ReadU64(base + uint64(64*i)); got != want {
+			t.Fatalf("value[%d] = %d, want %d", i, got, want)
+		}
+	}
+	if coreAfter != 2 {
+		t.Fatalf("thread core = %d after migrate, want 2", coreAfter)
+	}
+}
+
+func TestMigrateCommitsPendingDPOs(t *testing.T) {
+	// The CL List entry must be drained before the switch: after Migrate
+	// returns, no slot of the in-progress region remains on the old core.
+	m, e := testRig(DefaultOptions(), func(c *machine.Config) {
+		c.Mem.PMWriteCycles = 2000
+	})
+	base := m.Heap.Alloc(64*8, true)
+	run(m, e, func(th *sim.Thread) {
+		e.Begin(th)
+		for i := 0; i < 5; i++ {
+			storeU64(e, th, base+uint64(64*i), uint64(i))
+		}
+		oldList := e.cl[e.state(th).core]
+		e.Migrate(th, 3)
+		if oldList.Len() != 0 {
+			t.Errorf("old core still holds %d CL entries after migrate", oldList.Len())
+		}
+		storeU64(e, th, base+64*6, 9)
+		e.End(th)
+	})
+	if m.St.Get(stats.RegionsCommitted) != 1 {
+		t.Fatal("region did not commit after migration")
+	}
+}
+
+func TestMigrateNoRegionIsCheap(t *testing.T) {
+	m, e := testRig(DefaultOptions(), nil)
+	var before, after uint64
+	run(m, e, func(th *sim.Thread) {
+		before = th.Now()
+		e.Migrate(th, 1)
+		after = th.Now()
+	})
+	if after-before > 5000 {
+		t.Fatalf("idle migrate cost %d cycles", after-before)
+	}
+	_ = m
+}
+
+func TestMigrateSameCoreNoop(t *testing.T) {
+	m, e := testRig(DefaultOptions(), nil)
+	run(m, e, func(th *sim.Thread) {
+		start := th.Now()
+		e.Migrate(th, e.state(th).core)
+		if th.Now() != start {
+			t.Error("same-core migrate should be free")
+		}
+	})
+	_ = m
+}
+
+func TestMigratePreservesDependences(t *testing.T) {
+	// A region that captured a dependence before migrating must still
+	// commit after its dependence, from the new core.
+	m, e := testRig(DefaultOptions(), func(c *machine.Config) {
+		c.Mem.Controllers, c.Mem.ChannelsPerMC = 1, 1
+		c.Mem.WPQEntries = 1
+		c.Mem.PMWriteCycles = 3000
+	})
+	x := m.Heap.Alloc(64, true)
+	var mu sim.Mutex
+	producer := func(th *sim.Thread) {
+		mu.Lock(th)
+		e.Begin(th)
+		storeU64(e, th, x, 7)
+		e.End(th)
+		mu.Unlock(th)
+	}
+	consumer := func(th *sim.Thread) {
+		th.Advance(500)
+		mu.Lock(th)
+		e.Begin(th)
+		v := loadU64(e, th, x)
+		e.Migrate(th, 3)
+		storeU64(e, th, x, v+1)
+		e.End(th)
+		mu.Unlock(th)
+	}
+	run(m, e, producer, consumer)
+	for _, edge := range e.Edges {
+		if e.CommittedAt[edge[1]] < e.CommittedAt[edge[0]] {
+			t.Fatalf("dependence violated across migration: %v", edge)
+		}
+	}
+	if m.Heap.ReadU64(x) != 8 {
+		t.Fatalf("x = %d", m.Heap.ReadU64(x))
+	}
+}

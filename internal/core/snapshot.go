@@ -1,0 +1,63 @@
+package core
+
+import (
+	"sort"
+
+	"asap/internal/arch"
+	"asap/internal/memdev"
+)
+
+// DepSnapshot is one persisted Dependence List entry as recovery sees it
+// after the crash flush (§5.5).
+type DepSnapshot struct {
+	RID  arch.RID
+	Done bool
+	Deps []arch.RID
+}
+
+// LogExtent describes one thread's log buffer so recovery can scan it for
+// persisted record headers.
+type LogExtent struct {
+	Thread int
+	Base   uint64
+	Size   uint64
+}
+
+// CrashState is everything that survives a power failure: the flushed PM
+// image, the flushed LH-WPQ headers, the persistence-domain Dependence
+// List entries, and the log directory.
+type CrashState struct {
+	Image   *memdev.Image
+	Headers []*memdev.LogHeader
+	Deps    []DepSnapshot
+	Logs    []LogExtent
+}
+
+// Crash models a power failure at the current instant: ADR flushes the
+// WPQs to the PM image, the LH-WPQ and Dependence List contents are
+// captured, and the simulation halts. The returned state is what recovery
+// gets to work with — caches, arrival queues and thread registers are
+// gone.
+func (e *Engine) Crash() *CrashState {
+	cs := &CrashState{
+		Image:   e.m.Fabric.FlushAll().Clone(),
+		Headers: e.m.Fabric.LHSnapshot(),
+	}
+	for _, dl := range e.dep {
+		for _, entry := range dl.Entries() {
+			snap := DepSnapshot{RID: entry.RID, Done: entry.Done}
+			for d := range entry.Deps {
+				snap.Deps = append(snap.Deps, d)
+			}
+			sort.Slice(snap.Deps, func(i, j int) bool { return snap.Deps[i] < snap.Deps[j] })
+			cs.Deps = append(cs.Deps, snap)
+		}
+	}
+	sort.Slice(cs.Deps, func(i, j int) bool { return cs.Deps[i].RID < cs.Deps[j].RID })
+	for tid, ts := range e.threads {
+		cs.Logs = append(cs.Logs, LogExtent{Thread: tid, Base: ts.log.Base(), Size: ts.log.Size()})
+	}
+	sort.Slice(cs.Logs, func(i, j int) bool { return cs.Logs[i].Thread < cs.Logs[j].Thread })
+	e.m.K.Halt()
+	return cs
+}

@@ -1,0 +1,222 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (§7): each runner builds fresh machines, executes the Table 3
+// benchmarks under the relevant schemes, and reduces the counters to the
+// series the paper plots. Output tables mirror the paper's axes so shapes
+// can be compared directly; EXPERIMENTS.md records paper-vs-measured.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"asap/internal/core"
+	"asap/internal/machine"
+	"asap/internal/report"
+	"asap/internal/schemes"
+	"asap/internal/trace"
+	"asap/internal/workload"
+)
+
+// Scale sizes the benchmark runs. Figures' shapes are stable from Quick
+// upward; Full uses the kind of run a paper evaluation would.
+type Scale struct {
+	Threads      int
+	OpsPerThread int
+	InitialItems int
+	Benchmarks   []string
+}
+
+// QuickScale is used by tests and the default CLI run.
+func QuickScale() Scale {
+	return Scale{Threads: 4, OpsPerThread: 120, InitialItems: 128, Benchmarks: BenchNames()}
+}
+
+// FullScale is the paper-style run (minutes, not seconds).
+func FullScale() Scale {
+	return Scale{Threads: 8, OpsPerThread: 1500, InitialItems: 2048, Benchmarks: BenchNames()}
+}
+
+// BenchNames returns the Table 3 benchmark abbreviations in paper order.
+func BenchNames() []string {
+	return []string{"BN", "BT", "CT", "EO", "HM", "Q", "RB", "SS", "TPCC"}
+}
+
+// Variant selects a system build for one run.
+type Variant struct {
+	Scheme   string // NP, SW, SW-DPOOnly, HWUndo, HWRedo, ASAP, ASAP-Redo
+	PMMult   int    // PM latency multiplier (0 -> 1)
+	LHWPQ    int    // LH-WPQ entries per channel (0 -> default 128)
+	ASAPOpts *core.Options
+	// Trace, when non-nil, attaches a protocol event buffer (ASAP only).
+	Trace *trace.Buffer
+}
+
+// issueDelayOverride lets calibration tests sweep the WPQ issue delay.
+var issueDelayOverride uint64
+
+// truncOverride lets calibration tests sweep HWUndo's truncation delay.
+var truncOverride uint64
+
+// Run executes one benchmark under one variant at the given scale and
+// value size, on a fresh machine.
+func Run(v Variant, bench string, scale Scale, valueBytes int) workload.Result {
+	mc := machine.DefaultConfig()
+	if issueDelayOverride > 0 {
+		mc.Mem.IssueDelayCycles = issueDelayOverride
+	}
+	if v.PMMult > 1 {
+		mc.Mem.PMLatencyMult = v.PMMult
+	}
+	if v.LHWPQ > 0 {
+		mc.Mem.LHWPQEntries = v.LHWPQ
+	}
+	m := machine.New(mc)
+
+	var s machine.Scheme
+	switch v.Scheme {
+	case "NP":
+		s = schemes.NewNP(m)
+	case "SW":
+		s = schemes.NewSW(m)
+	case "SW-DPOOnly":
+		s = schemes.NewSWDPOOnly(m)
+	case "HWUndo":
+		u := schemes.NewHWUndo(m)
+		if truncOverride > 0 {
+			u.TruncateDelay = truncOverride
+		}
+		s = u
+	case "HWRedo":
+		s = schemes.NewHWRedo(m)
+	case "ASAP-Redo":
+		s = schemes.NewASAPRedo(m)
+	case "ASAP":
+		opt := core.DefaultOptions()
+		if v.ASAPOpts != nil {
+			opt = *v.ASAPOpts
+		}
+		eng := core.NewEngine(m, opt)
+		if v.Trace != nil {
+			eng.SetTrace(v.Trace)
+		}
+		s = eng
+	default:
+		panic("experiment: unknown scheme " + v.Scheme)
+	}
+
+	b := workload.ByName(bench)
+	if b == nil {
+		panic("experiment: unknown benchmark " + bench)
+	}
+	cfg := workload.Config{
+		ValueBytes:   valueBytes,
+		InitialItems: scale.InitialItems,
+		Threads:      scale.Threads,
+		OpsPerThread: scale.OpsPerThread,
+		Seed:         42,
+	}
+	res := workload.Run(&workload.Env{M: m, S: s}, b, cfg)
+	if res.CheckErr != "" {
+		panic(fmt.Sprintf("experiment: %s under %s left inconsistent state: %s",
+			bench, v.Scheme, res.CheckErr))
+	}
+	return res
+}
+
+// Table is a figure's data: one row per benchmark (plus GeoMean), one
+// column per series.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    []Row
+}
+
+// Row is one benchmark's values across the series.
+type Row struct {
+	Name   string
+	Values []float64
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(name string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Name: name, Values: values})
+}
+
+// AddGeoMean appends a geometric-mean summary row over the current rows.
+func (t *Table) AddGeoMean() {
+	if len(t.Rows) == 0 {
+		return
+	}
+	means := make([]float64, len(t.Columns))
+	for c := range t.Columns {
+		logSum, n := 0.0, 0
+		for _, r := range t.Rows {
+			if c < len(r.Values) && r.Values[c] > 0 {
+				logSum += math.Log(r.Values[c])
+				n++
+			}
+		}
+		if n > 0 {
+			means[c] = math.Exp(logSum / float64(n))
+		}
+	}
+	t.Rows = append(t.Rows, Row{Name: "GeoMean", Values: means})
+}
+
+// Col returns the value at (rowName, colName), or NaN.
+func (t *Table) Col(rowName, colName string) float64 {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == colName {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return math.NaN()
+	}
+	for _, r := range t.Rows {
+		if r.Name == rowName && ci < len(r.Values) {
+			return r.Values[ci]
+		}
+	}
+	return math.NaN()
+}
+
+// ChartTitle implements report.Chartable.
+func (t *Table) ChartTitle() string { return t.Title }
+
+// ChartColumns implements report.Chartable.
+func (t *Table) ChartColumns() []string { return t.Columns }
+
+// ChartRows implements report.Chartable.
+func (t *Table) ChartRows() []report.ChartRow {
+	out := make([]report.ChartRow, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		out = append(out, report.ChartRow{Name: r.Name, Values: r.Values})
+	}
+	return out
+}
+
+// String renders the table in aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "  (%s)\n", t.Note)
+	}
+	fmt.Fprintf(&b, "%-10s", "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%12s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-10s", r.Name)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, "%12.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

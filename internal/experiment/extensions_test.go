@@ -1,0 +1,132 @@
+package experiment
+
+import "testing"
+
+func TestAblationCoalesceKnee(t *testing.T) {
+	tab := AblationCoalesce(tinyScale(), "Q")
+	// Traffic at distance 4 is no worse than at distance 1, and going to
+	// 16 buys little (the paper's "no benefit beyond four").
+	d1 := tab.Col("dist=1", "pm.writes")
+	d4 := tab.Col("dist=4", "pm.writes")
+	d16 := tab.Col("dist=16", "pm.writes")
+	if d4 > d1+1e-9 {
+		t.Fatalf("distance 4 should not write more than distance 1:\n%s", tab)
+	}
+	if d16 < d4*0.85 {
+		t.Fatalf("distance 16 should not be much better than 4 (paper's knee):\n%s", tab)
+	}
+}
+
+func TestAblationStructuresBiggerIsFasterOrEqual(t *testing.T) {
+	tab := AblationStructures(tinyScale(), "Q")
+	small := tab.Col("CL2x4,Dep2", "cycles")
+	base := tab.Col("CL4x8,Dep4", "cycles")
+	big := tab.Col("CL8x16,Dep8", "cycles")
+	if base != 1 {
+		t.Fatalf("base row must normalize to 1:\n%s", tab)
+	}
+	if small < base*0.98 {
+		t.Fatalf("halving the structures should not speed ASAP up:\n%s", tab)
+	}
+	if big > base*1.05 {
+		t.Fatalf("doubling the structures should not slow ASAP down:\n%s", tab)
+	}
+}
+
+func TestCoRunningOrdering(t *testing.T) {
+	scale := Scale{Threads: 2, OpsPerThread: 60, InitialItems: 96}
+	tab := CoRunning(scale)
+	asap := tab.Col("ASAP", "ops/kcycle")
+	sw := tab.Col("SW", "ops/kcycle")
+	np := tab.Col("NP", "ops/kcycle")
+	if !(asap > sw) {
+		t.Fatalf("ASAP must beat SW when co-running:\n%s", tab)
+	}
+	if np < asap*0.95 {
+		t.Fatalf("NP bounds ASAP:\n%s", tab)
+	}
+	// Traffic optimizations reduce co-run PM writes.
+	if tab.Col("ASAP", "pm.writes") >= tab.Col("ASAP-No-Opt", "pm.writes") {
+		t.Fatalf("optimizations must cut co-run traffic:\n%s", tab)
+	}
+}
+
+func TestFenceSweepWaits(t *testing.T) {
+	scale := Scale{Threads: 3, OpsPerThread: 80, InitialItems: 96}
+	tab := FenceSweep(scale)
+	free := tab.Col("no fence", "ops/kcycle")
+	every1 := tab.Col("every 1", "ops/kcycle")
+	if every1 > free+1e-9 {
+		t.Fatalf("fencing cannot raise throughput here:\n%s", tab)
+	}
+	if tab.Col("every 1", "wait/fence") <= 0 {
+		t.Fatalf("per-op fences must absorb some wait:\n%s", tab)
+	}
+}
+
+func TestLifetimeASAPBest(t *testing.T) {
+	tab := Lifetime(tinyScale("BN", "Q"))
+	g := func(c string) float64 { return tab.Col("GeoMean", c) }
+	if !(g("ASAP") > g("HWUndo") && g("ASAP") > g("HWRedo") && g("ASAP") > 1) {
+		t.Fatalf("ASAP must project the longest lifetime:\n%s", tab)
+	}
+}
+
+func TestDesignChoiceShape(t *testing.T) {
+	tab := DesignChoice(tinyScale("Q", "HM"))
+	g := func(c string) float64 { return tab.Col("GeoMean", c) }
+	// Both asynchronous-commit designs beat SW comfortably.
+	if !(g("ASAP xSW") > 1.5 && g("ASAP-Redo xSW") > 1.5) {
+		t.Fatalf("both async designs must beat SW:\n%s", tab)
+	}
+}
+
+func TestNUMAShape(t *testing.T) {
+	scale := Scale{Threads: 3, OpsPerThread: 80, InitialItems: 96}
+	tab := NUMA(scale)
+	// ASAP must tolerate remote channels at least as well as HWUndo.
+	asap := tab.Col("ASAP", "remote+800")
+	undo := tab.Col("HWUndo", "remote+800")
+	if asap < undo-1e-9 {
+		t.Fatalf("ASAP should be at least as NUMA-robust as HWUndo:\n%s", tab)
+	}
+	for _, s := range []string{"NP", "ASAP", "HWUndo", "HWRedo"} {
+		if tab.Col(s, "UMA") != 1 {
+			t.Fatalf("UMA column must normalize to 1:\n%s", tab)
+		}
+	}
+}
+
+func TestTailLatencyShape(t *testing.T) {
+	scale := Scale{Threads: 4, OpsPerThread: 100, InitialItems: 96}
+	tab := TailLatency(scale)
+	// ASAP removes the fixed region-end wait: its p50/p95 track NP while
+	// the synchronous baselines sit a bucket higher across the whole
+	// distribution. (The extreme tail can show rare CL-List backpressure
+	// stalls instead — reported, not asserted.)
+	for _, q := range []string{"p50", "p95"} {
+		asap := tab.Col("ASAP", q)
+		np := tab.Col("NP", q)
+		undo := tab.Col("HWUndo", q)
+		sw := tab.Col("SW", q)
+		if asap > np*1.05 {
+			t.Fatalf("ASAP %s (%v) should track NP (%v):\n%s", q, asap, np, tab)
+		}
+		if !(sw > undo && undo > asap) {
+			t.Fatalf("%s ordering SW > HWUndo > ASAP violated:\n%s", q, tab)
+		}
+	}
+}
+
+func TestScalingShape(t *testing.T) {
+	scale := Scale{Threads: 4, OpsPerThread: 80, InitialItems: 96}
+	tab := Scaling(scale)
+	// At every thread count ASAP out-throughputs the synchronous schemes
+	// on the lock-bound workload.
+	for _, col := range []string{"1", "4", "8"} {
+		if !(tab.Col("ASAP", col) > tab.Col("HWUndo", col) &&
+			tab.Col("HWUndo", col) > tab.Col("SW", col)) {
+			t.Fatalf("scaling ordering violated at %s threads:\n%s", col, tab)
+		}
+	}
+}

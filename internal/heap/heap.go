@@ -1,0 +1,181 @@
+// Package heap provides the simulated byte-addressable address space that
+// workloads allocate from and the persistence engines snapshot line
+// payloads from. It is the architectural memory: always-current values,
+// independent of what has actually persisted (that is memdev.Image's job).
+//
+// The address space has two windows: a persistent window (asap_malloc) and
+// a volatile window. A line's window determines the page-table persistence
+// bit that seeds the cache PBit (§4.6).
+package heap
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"asap/internal/arch"
+)
+
+const (
+	// PersistentBase is the first byte of the persistent window.
+	PersistentBase uint64 = 0x1000_0000
+	// VolatileBase is the first byte of the volatile window (and the end
+	// of the persistent window).
+	VolatileBase uint64 = 0x8000_0000
+
+	pageSize = 4096
+)
+
+// Heap is the simulated memory plus a simple allocator per window.
+// Persistent allocations are 64 B aligned, matching PM allocators and
+// keeping distinct objects off shared cache lines (the paper notes false
+// sharing produces spurious dependences, §4.6.3).
+type Heap struct {
+	pages map[uint64][]byte
+
+	nextPersistent uint64
+	nextVolatile   uint64
+	sizes          map[uint64]uint64
+	freeLists      map[uint64][]uint64 // size class -> addresses (persistent only)
+}
+
+// New returns an empty heap.
+func New() *Heap {
+	return &Heap{
+		pages:          make(map[uint64][]byte),
+		nextPersistent: PersistentBase,
+		nextVolatile:   VolatileBase,
+		sizes:          make(map[uint64]uint64),
+		freeLists:      make(map[uint64][]uint64),
+	}
+}
+
+// IsPersistentLine reports whether a line sits in the persistent window:
+// the page-table bit of §4.6.
+func (h *Heap) IsPersistentLine(line arch.LineAddr) bool {
+	return uint64(line) >= PersistentBase && uint64(line) < VolatileBase
+}
+
+// IsPersistentAddr reports whether a byte address is persistent.
+func (h *Heap) IsPersistentAddr(addr uint64) bool {
+	return addr >= PersistentBase && addr < VolatileBase
+}
+
+func roundUp(n, to uint64) uint64 { return (n + to - 1) &^ (to - 1) }
+
+// Alloc reserves size bytes in the requested window and returns the base
+// address. Persistent allocations are line-aligned and recycled through
+// size-class free lists (asap_malloc / asap_free).
+func (h *Heap) Alloc(size uint64, persistent bool) uint64 {
+	if size == 0 {
+		size = 1
+	}
+	if persistent {
+		class := roundUp(size, arch.LineSize)
+		if fl := h.freeLists[class]; len(fl) > 0 {
+			// Recycled memory keeps its previous contents (malloc
+			// semantics): zeroing here would be an unlogged write to
+			// persistent memory, invisible to WAL and fatal to recovery.
+			addr := fl[len(fl)-1]
+			h.freeLists[class] = fl[:len(fl)-1]
+			h.sizes[addr] = class
+			return addr
+		}
+		addr := h.nextPersistent
+		h.nextPersistent += class
+		if h.nextPersistent > VolatileBase {
+			panic("heap: persistent window exhausted")
+		}
+		h.sizes[addr] = class
+		return addr
+	}
+	class := roundUp(size, 8)
+	addr := h.nextVolatile
+	h.nextVolatile += class
+	h.sizes[addr] = class
+	return addr
+}
+
+// Free returns a persistent allocation to its size-class free list
+// (asap_free). Freeing a volatile or unknown address is a no-op beyond
+// forgetting its size.
+func (h *Heap) Free(addr uint64) {
+	size, ok := h.sizes[addr]
+	if !ok {
+		return
+	}
+	delete(h.sizes, addr)
+	if h.IsPersistentAddr(addr) {
+		h.freeLists[size] = append(h.freeLists[size], addr)
+	}
+}
+
+// SizeOf returns the allocated size class of addr (0 if unknown).
+func (h *Heap) SizeOf(addr uint64) uint64 { return h.sizes[addr] }
+
+func (h *Heap) page(addr uint64) []byte {
+	base := addr &^ (pageSize - 1)
+	p, ok := h.pages[base]
+	if !ok {
+		p = make([]byte, pageSize)
+		h.pages[base] = p
+	}
+	return p
+}
+
+// Write stores data at addr.
+func (h *Heap) Write(addr uint64, data []byte) {
+	for len(data) > 0 {
+		p := h.page(addr)
+		off := addr % pageSize
+		n := copy(p[off:], data)
+		data = data[n:]
+		addr += uint64(n)
+	}
+}
+
+// Read fills buf from addr.
+func (h *Heap) Read(addr uint64, buf []byte) {
+	for len(buf) > 0 {
+		p := h.page(addr)
+		off := addr % pageSize
+		n := copy(buf, p[off:])
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+}
+
+// ReadLine returns a copy of the 64 B line containing line's address:
+// the payload source for LPOs, DPOs and evictions.
+func (h *Heap) ReadLine(line arch.LineAddr) []byte {
+	buf := make([]byte, arch.LineSize)
+	h.Read(uint64(line), buf)
+	return buf
+}
+
+// WriteU64 stores a little-endian uint64 at addr.
+func (h *Heap) WriteU64(addr uint64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	h.Write(addr, b[:])
+}
+
+// ReadU64 loads a little-endian uint64 from addr.
+func (h *Heap) ReadU64(addr uint64) uint64 {
+	var b [8]byte
+	h.Read(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// String summarizes allocator state.
+func (h *Heap) String() string {
+	return fmt.Sprintf("heap{persistent %d B, volatile %d B, pages %d}",
+		h.nextPersistent-PersistentBase, h.nextVolatile-VolatileBase, len(h.pages))
+}
+
+// Reserve advances the persistent bump pointer past addr, so a heap
+// rebuilt from a recovered image never re-allocates live lines.
+func (h *Heap) Reserve(addr uint64) {
+	if addr >= h.nextPersistent && addr < VolatileBase {
+		h.nextPersistent = roundUp(addr+1, arch.LineSize)
+	}
+}

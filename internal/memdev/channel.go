@@ -1,0 +1,206 @@
+package memdev
+
+import (
+	"asap/internal/arch"
+	"asap/internal/sim"
+	"asap/internal/stats"
+)
+
+// Channel is one memory channel: a WPQ (persistence domain), an arrival
+// queue for operations waiting on a free WPQ slot, a drain engine writing
+// accepted entries to the PM device, and the channel's slice of the LH-WPQ.
+type Channel struct {
+	id  int
+	cfg *Config
+	k   *sim.Kernel
+	st  *stats.Set
+	pm  *Image
+
+	queue         []*Entry // accepted, in FIFO drain order (droppable)
+	inflight      *Entry   // entry whose device write has issued
+	pickupPending bool     // a scheduled issue awaits its IssueDelay
+	arrivals      []*arrival
+
+	lh *LHWPQ
+}
+
+type arrival struct {
+	e        *Entry
+	onAccept func(at uint64)
+}
+
+func newChannel(id int, cfg *Config, k *sim.Kernel, st *stats.Set, pm *Image) *Channel {
+	return &Channel{
+		id:  id,
+		cfg: cfg,
+		k:   k,
+		st:  st,
+		pm:  pm,
+		lh:  newLHWPQ(cfg.LHWPQEntries),
+	}
+}
+
+// ID returns the channel index within the fabric.
+func (c *Channel) ID() int { return c.id }
+
+// LH returns this channel's LH-WPQ.
+func (c *Channel) LH() *LHWPQ { return c.lh }
+
+// Occupancy returns the number of WPQ slots in use (queued plus in flight).
+func (c *Channel) Occupancy() int {
+	n := len(c.queue)
+	if c.inflight != nil {
+		n++
+	}
+	return n
+}
+
+// HasSpace reports whether the WPQ can accept another entry right now.
+func (c *Channel) HasSpace() bool { return c.Occupancy() < c.cfg.WPQEntries }
+
+// Arrive presents e to the channel at the current kernel time. If a WPQ
+// slot is free the entry is accepted immediately (the persist operation is
+// then complete per §4.1) and onAccept fires; otherwise the entry waits in
+// the arrival queue and is accepted FIFO as drains free slots. onAccept may
+// be nil.
+func (c *Channel) Arrive(e *Entry, onAccept func(at uint64)) {
+	if len(c.arrivals) == 0 && c.HasSpace() {
+		c.accept(e, onAccept)
+		return
+	}
+	c.st.Inc(stats.WPQStalls)
+	c.arrivals = append(c.arrivals, &arrival{e: e, onAccept: onAccept})
+}
+
+func (c *Channel) accept(e *Entry, onAccept func(at uint64)) {
+	e.acceptedAt = c.k.Now()
+	c.queue = append(c.queue, e)
+	if onAccept != nil {
+		onAccept(c.k.Now())
+	}
+	c.startDrain()
+}
+
+// startDrain schedules the head entry's device write if the device is
+// idle. The write command issues no earlier than IssueDelayCycles after
+// acceptance; until then the entry stays droppable in the queue.
+func (c *Channel) startDrain() {
+	if c.inflight != nil || c.pickupPending || len(c.queue) == 0 {
+		return
+	}
+	e := c.queue[0]
+	ready := e.acceptedAt + c.cfg.IssueDelayCycles
+	if now := c.k.Now(); ready <= now {
+		c.issue(e)
+		return
+	}
+	c.pickupPending = true
+	c.k.Schedule(ready, func() {
+		c.pickupPending = false
+		c.startDrain()
+	})
+}
+
+// issue commits the head entry to the device (no longer droppable).
+func (c *Channel) issue(e *Entry) {
+	if len(c.queue) == 0 || c.queue[0] != e {
+		// The entry was dropped (removed) while awaiting issue; pick the
+		// new head instead.
+		c.startDrain()
+		return
+	}
+	c.queue = c.queue[1:]
+	e.draining = true
+	c.inflight = e
+	c.k.ScheduleAfter(c.cfg.PMWrite(), func() { c.finishDrain(e) })
+}
+
+func (c *Channel) finishDrain(e *Entry) {
+	c.pm.Write(e.Dst, e.Payload)
+	c.st.Inc(stats.PMWrites)
+	c.inflight = nil
+	c.admitWaiters()
+	c.startDrain()
+}
+
+// admitWaiters moves arrivals into freed WPQ slots, FIFO.
+func (c *Channel) admitWaiters() {
+	for len(c.arrivals) > 0 && c.HasSpace() {
+		a := c.arrivals[0]
+		c.arrivals = c.arrivals[1:]
+		c.accept(a.e, a.onAccept)
+	}
+}
+
+// DropRegionOps removes every still-queued LPO and log-header write
+// belonging to region r (LPO dropping, §5.1: a committed region's log will
+// never be read, so its pending log writes need not reach PM). Returns the
+// number of entries dropped.
+func (c *Channel) DropRegionOps(r arch.RID) int {
+	return c.dropWhere(func(e *Entry) bool {
+		return e.RID == r && (e.Kind == KindLPO || e.Kind == KindLogHeader)
+	}, stats.LPOsDropped)
+}
+
+// DropDPOFor removes one still-queued DPO targeting line (DPO dropping,
+// §5.1: a later region's LPO for the line carries the same bytes). Reports
+// whether a DPO was found and dropped.
+func (c *Channel) DropDPOFor(line arch.LineAddr) bool {
+	n := c.dropWhere(func(e *Entry) bool {
+		return e.Kind == KindDPO && e.Dst == line && !e.dropped
+	}, stats.DPOsDropped)
+	return n > 0
+}
+
+// SupersedeDPO removes any still-queued DPO to line that is about to be
+// replaced by a newer write of the same line (used by the redo-logging
+// baseline, which filters stale DPOs on commit). Returns dropped count.
+func (c *Channel) SupersedeDPO(line arch.LineAddr) int {
+	return c.dropWhere(func(e *Entry) bool {
+		return e.Kind == KindDPO && e.Dst == line
+	}, stats.DPOsDropped)
+}
+
+// dropWhere removes matching queue-resident entries: the §5.1 dropping
+// window. Entries whose device write has issued (inflight) are no longer
+// droppable.
+func (c *Channel) dropWhere(match func(*Entry) bool, counter string) int {
+	dropped := 0
+	kept := c.queue[:0]
+	for _, e := range c.queue {
+		if match(e) {
+			e.dropped = true
+			dropped++
+			c.st.Inc(counter)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	c.queue = kept
+	if dropped > 0 {
+		c.admitWaiters()
+	}
+	return dropped
+}
+
+// FlushToImage models ADR on power failure: every accepted entry (queued or
+// in flight) is written to the PM image. Arrival-queue entries were never
+// accepted by the WPQ, so they are lost — exactly the §4.1 completion rule.
+func (c *Channel) FlushToImage() {
+	if c.inflight != nil {
+		c.pm.Write(c.inflight.Dst, c.inflight.Payload)
+	}
+	for _, e := range c.queue {
+		c.pm.Write(e.Dst, e.Payload)
+	}
+}
+
+// QueuedEntries returns the accepted-but-undrained entries, head first, for
+// tests and debugging.
+func (c *Channel) QueuedEntries() []*Entry {
+	out := make([]*Entry, 0, len(c.queue)+1)
+	if c.inflight != nil {
+		out = append(out, c.inflight)
+	}
+	return append(out, c.queue...)
+}

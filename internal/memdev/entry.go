@@ -1,0 +1,61 @@
+package memdev
+
+import "asap/internal/arch"
+
+// Kind classifies a persist operation queued in a WPQ.
+type Kind uint8
+
+const (
+	// KindLPO is a log persist operation: a data line's old (undo) or new
+	// (redo) value written to a log entry address.
+	KindLPO Kind = iota
+	// KindLogHeader is the metadata line of a filled log record (Figure 5a)
+	// being written to its LogHeaderAddr.
+	KindLogHeader
+	// KindDPO is a data persist operation: a line written back in place.
+	KindDPO
+	// KindEvict is a dirty persistent line evicted from the LLC. It is not
+	// attributable to a region and is never dropped.
+	KindEvict
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindLPO:
+		return "LPO"
+	case KindLogHeader:
+		return "LogHeader"
+	case KindDPO:
+		return "DPO"
+	case KindEvict:
+		return "Evict"
+	default:
+		return "?"
+	}
+}
+
+// Entry is one 64 B persist operation travelling to persistent memory.
+type Entry struct {
+	Kind Kind
+	// RID is the atomic region the operation belongs to (NoRID for
+	// evictions), used by LPO dropping on commit.
+	RID arch.RID
+	// Dst is the line the payload will be written to in PM: the log entry
+	// line for LPOs/headers, the data line for DPOs and evictions.
+	Dst arch.LineAddr
+	// Subject is the data line the operation concerns. For a DPO it equals
+	// Dst; for an LPO it is the line whose old value is being logged, which
+	// is what DPO dropping matches on (§5.1: "the DPO can be found using
+	// the contents of the LPO, which includes the address of the DPO").
+	Subject arch.LineAddr
+	// Payload is the 64 B line image carried by the operation.
+	Payload []byte
+
+	dropped    bool
+	draining   bool
+	acceptedAt uint64
+}
+
+// Dropped reports whether the entry was removed by a traffic optimization
+// before reaching the PM device.
+func (e *Entry) Dropped() bool { return e.dropped }

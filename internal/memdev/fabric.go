@@ -1,0 +1,153 @@
+package memdev
+
+import (
+	"asap/internal/arch"
+	"asap/internal/sim"
+	"asap/internal/stats"
+)
+
+// Fabric is the full memory system: all channels across all controllers,
+// the address-interleaving policy, device read latencies, and the persisted
+// PM image. It is the single point through which every component touches
+// memory.
+type Fabric struct {
+	cfg      Config
+	k        *sim.Kernel
+	st       *stats.Set
+	channels []*Channel
+	pm       *Image
+}
+
+// NewFabric builds the memory system described by cfg.
+func NewFabric(k *sim.Kernel, st *stats.Set, cfg Config) *Fabric {
+	f := &Fabric{cfg: cfg, k: k, st: st, pm: NewImage()}
+	n := cfg.Channels()
+	if n <= 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		f.channels = append(f.channels, newChannel(i, &f.cfg, k, st, f.pm))
+	}
+	return f
+}
+
+// Config returns the fabric's configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// PM returns the persisted image (live; clone before mutating externally).
+func (f *Fabric) PM() *Image { return f.pm }
+
+// Channels returns all channels.
+func (f *Fabric) Channels() []*Channel { return f.channels }
+
+// ChannelFor returns the channel owning a line, interleaved at line
+// granularity across all channels.
+func (f *Fabric) ChannelFor(line arch.LineAddr) *Channel {
+	idx := int(uint64(line)>>arch.LineShift) % len(f.channels)
+	return f.channels[idx]
+}
+
+// HomeChannel returns the channel hosting region r's Dependence List entry
+// and LH-WPQ headers, selected by the LSBs of the LocalRID (§5.6).
+func (f *Fabric) HomeChannel(r arch.RID) *Channel {
+	return f.channels[int(r.Local())%len(f.channels)]
+}
+
+// remote reports whether ch belongs to the remote NUMA node (the upper
+// half of the channels when NUMARemotePenalty is set).
+func (f *Fabric) remote(ch *Channel) bool {
+	return f.cfg.NUMARemotePenalty > 0 && ch.id >= len(f.channels)/2
+}
+
+// transferTo returns the on-chip (plus interconnect) latency to reach ch.
+func (f *Fabric) transferTo(ch *Channel) uint64 {
+	lat := f.cfg.TransferCycles
+	if f.remote(ch) {
+		lat += f.cfg.NUMARemotePenalty
+	}
+	return lat
+}
+
+// SubmitPersist sends e toward the WPQ of the channel owning e.Dst,
+// arriving after the on-chip transfer latency. onAccept (may be nil) fires
+// at WPQ acceptance — the §4.1 completion point.
+func (f *Fabric) SubmitPersist(e *Entry, onAccept func(at uint64)) {
+	ch := f.ChannelFor(e.Dst)
+	f.k.ScheduleAfter(f.transferTo(ch), func() { ch.Arrive(e, onAccept) })
+}
+
+// SubmitPersistOn is SubmitPersist with an explicit channel: ASAP routes
+// all of one log record's operations via the record's header line so their
+// WPQ acceptances arrive in allocation order, keeping records contiguous.
+func (f *Fabric) SubmitPersistOn(ch *Channel, e *Entry, onAccept func(at uint64)) {
+	f.k.ScheduleAfter(f.transferTo(ch), func() { ch.Arrive(e, onAccept) })
+}
+
+// DropDPOFor searches the owning channel's WPQ for a queued DPO to line and
+// drops it (DPO dropping). Reports whether one was dropped.
+func (f *Fabric) DropDPOFor(line arch.LineAddr) bool {
+	return f.ChannelFor(line).DropDPOFor(line)
+}
+
+// SupersedeDPO drops queued DPOs to line that a newer DPO makes stale.
+func (f *Fabric) SupersedeDPO(line arch.LineAddr) int {
+	return f.ChannelFor(line).SupersedeDPO(line)
+}
+
+// DropRegionOps applies LPO dropping for a committed region across every
+// channel, returning the number of dropped entries.
+func (f *Fabric) DropRegionOps(r arch.RID) int {
+	n := 0
+	for _, ch := range f.channels {
+		n += ch.DropRegionOps(r)
+	}
+	return n
+}
+
+// ReadLatency returns the device portion of a miss to main memory for
+// line and counts the access. persistent selects the PM device (scaled
+// latency) over DRAM; remote NUMA channels add their penalty.
+func (f *Fabric) ReadLatency(line arch.LineAddr, persistent bool) uint64 {
+	base := f.transferTo(f.ChannelFor(line))
+	if persistent {
+		f.st.Inc(stats.PMReads)
+		return base + f.cfg.PMRead()
+	}
+	f.st.Inc(stats.DRAMReads)
+	return base + f.cfg.DRAMReadCycles
+}
+
+// WriteBackDRAM counts a dirty non-persistent line leaving the LLC.
+func (f *Fabric) WriteBackDRAM() {
+	f.st.Inc(stats.DRAMWrites)
+}
+
+// FlushAll models ADR on power failure: every channel's accepted WPQ
+// entries reach the PM image. Returns the image (live).
+func (f *Fabric) FlushAll() *Image {
+	for _, ch := range f.channels {
+		ch.FlushToImage()
+	}
+	return f.pm
+}
+
+// LHSnapshot gathers the flushed LH-WPQ headers of every channel, as
+// available to recovery after a crash.
+func (f *Fabric) LHSnapshot() []*LogHeader {
+	var out []*LogHeader
+	for _, ch := range f.channels {
+		out = append(out, ch.lh.Snapshot()...)
+	}
+	return out
+}
+
+// Quiesced reports whether no persist work remains anywhere: used by tests
+// and by the end-of-run barrier.
+func (f *Fabric) Quiesced() bool {
+	for _, ch := range f.channels {
+		if ch.Occupancy() > 0 || len(ch.arrivals) > 0 {
+			return false
+		}
+	}
+	return true
+}

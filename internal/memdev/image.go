@@ -1,0 +1,81 @@
+package memdev
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"asap/internal/arch"
+)
+
+// Image is the byte content of persistent memory as actually persisted:
+// only WPQ-accepted writes that drained (or were flushed by ADR on a crash)
+// appear here. Crash recovery reads and repairs this image.
+type Image struct {
+	lines map[arch.LineAddr][]byte
+}
+
+// NewImage returns an empty persisted image.
+func NewImage() *Image {
+	return &Image{lines: make(map[arch.LineAddr][]byte)}
+}
+
+// Write stores a 64 B payload at line. The payload is copied.
+func (im *Image) Write(line arch.LineAddr, payload []byte) {
+	buf := im.lines[line]
+	if buf == nil {
+		buf = make([]byte, arch.LineSize)
+		im.lines[line] = buf
+	}
+	copy(buf, payload)
+}
+
+// Read returns the 64 B content of line. Never-written lines read as zero.
+// The returned slice is a copy.
+func (im *Image) Read(line arch.LineAddr) []byte {
+	out := make([]byte, arch.LineSize)
+	copy(out, im.lines[line])
+	return out
+}
+
+// Has reports whether line has ever been written.
+func (im *Image) Has(line arch.LineAddr) bool {
+	_, ok := im.lines[line]
+	return ok
+}
+
+// Len returns the number of distinct lines ever persisted.
+func (im *Image) Len() int { return len(im.lines) }
+
+// Clone returns a deep copy of the image.
+func (im *Image) Clone() *Image {
+	out := NewImage()
+	for line, buf := range im.lines {
+		cp := make([]byte, arch.LineSize)
+		copy(cp, buf)
+		out.lines[line] = cp
+	}
+	return out
+}
+
+// GobEncode implements gob.GobEncoder so crash images can be saved to disk
+// and recovered in another process.
+func (im *Image) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(im.lines); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (im *Image) GobDecode(data []byte) error {
+	im.lines = make(map[arch.LineAddr][]byte)
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(&im.lines)
+}
+
+// Lines iterates the persisted lines in unspecified order.
+func (im *Image) Lines(fn func(line arch.LineAddr, payload []byte)) {
+	for line, buf := range im.lines {
+		fn(line, buf)
+	}
+}

@@ -1,0 +1,194 @@
+// Package recovery implements ASAP's crash recovery (§5.5): from the
+// flushed persistence-domain state (PM image, LH-WPQ headers, Dependence
+// List entries) it reconstructs the set of uncommitted atomic regions,
+// orders them by the dependence DAG, and undoes them newest-first so the
+// persisted image returns to a consistent prefix of the execution.
+package recovery
+
+import (
+	"fmt"
+	"sort"
+
+	"asap/internal/arch"
+	"asap/internal/core"
+	"asap/internal/wal"
+)
+
+// regionLog is the undo material collected for one uncommitted region.
+type regionLog struct {
+	rid     arch.RID
+	entries []undoEntry
+}
+
+type undoEntry struct {
+	dataLine arch.LineAddr
+	logLine  arch.LineAddr
+}
+
+// debugRestore, when set by tests/tools, observes every undo application.
+var debugRestore func(rid arch.RID, dataLine, logLine arch.LineAddr, old []byte)
+
+// Report summarizes a completed recovery.
+type Report struct {
+	// Uncommitted is the set of regions found in the Dependence List,
+	// in the order they were undone (reverse happens-before).
+	Uncommitted []arch.RID
+	// EntriesRestored counts undo entries applied to the image.
+	EntriesRestored int
+	// RecordsScanned counts valid log record headers found in the image.
+	RecordsScanned int
+}
+
+// Recover repairs the crash state in place: cs.Image is modified so that
+// every uncommitted region's writes are rolled back. It returns a report,
+// or an error if the dependence information is unusable (e.g. a cycle,
+// which the hardware never produces for lock-disciplined programs).
+func Recover(cs *core.CrashState) (*Report, error) {
+	rep := &Report{}
+	uncommitted := make(map[arch.RID]bool, len(cs.Deps))
+	for _, d := range cs.Deps {
+		uncommitted[d.RID] = true
+	}
+	if len(uncommitted) == 0 {
+		return rep, nil
+	}
+
+	logs := collectLogs(cs, uncommitted, rep)
+
+	order, err := happensBefore(cs.Deps)
+	if err != nil {
+		return nil, err
+	}
+
+	// Undo in reverse happens-before order: the newest region first, so a
+	// line written by several uncommitted regions ends at the oldest
+	// region's logged old value.
+	for i := len(order) - 1; i >= 0; i-- {
+		rid := order[i]
+		rep.Uncommitted = append(rep.Uncommitted, rid)
+		rl, ok := logs[rid]
+		if !ok {
+			continue // region logged nothing (read-only or no accepted LPOs)
+		}
+		for _, ent := range rl.entries {
+			old := cs.Image.Read(ent.logLine)
+			if debugRestore != nil {
+				debugRestore(rid, ent.dataLine, ent.logLine, old)
+			}
+			cs.Image.Write(ent.dataLine, old)
+			rep.EntriesRestored++
+		}
+	}
+	return rep, nil
+}
+
+// collectLogs gathers each uncommitted region's undo entries from two
+// sources: full records persisted in the image (found by scanning the log
+// buffers from the log directory) and the partial record flushed from the
+// LH-WPQ.
+func collectLogs(cs *core.CrashState, uncommitted map[arch.RID]bool, rep *Report) map[arch.RID]*regionLog {
+	logs := make(map[arch.RID]*regionLog)
+	add := func(rid arch.RID, data, log arch.LineAddr) {
+		rl := logs[rid]
+		if rl == nil {
+			rl = &regionLog{rid: rid}
+			logs[rid] = rl
+		}
+		rl.entries = append(rl.entries, undoEntry{dataLine: data, logLine: log})
+	}
+
+	// Scan every thread's log buffer for persisted record headers.
+	for _, ext := range cs.Logs {
+		for off := uint64(0); off+arch.LineSize <= ext.Size; off += arch.LineSize {
+			line := arch.LineAddr(ext.Base + off)
+			if !cs.Image.Has(line) {
+				continue
+			}
+			rid, dataLines, ok := wal.DecodeHeader(cs.Image.Read(line))
+			if !ok {
+				continue
+			}
+			rep.RecordsScanned++
+			if !uncommitted[rid] {
+				continue // stale header of a committed region
+			}
+			for i, dl := range dataLines {
+				logLine := wal.EntryLine(line, i)
+				if cs.Image.Has(logLine) {
+					add(rid, dl, logLine)
+				}
+			}
+		}
+	}
+
+	// Partial records flushed from the LH-WPQ: only accepted entries are
+	// listed, so everything here is safe to restore.
+	for _, h := range cs.Headers {
+		if !uncommitted[h.RID] {
+			continue
+		}
+		for i, dl := range h.DataLines {
+			if cs.Image.Has(h.LogLines[i]) {
+				add(h.RID, dl, h.LogLines[i])
+			}
+		}
+	}
+	return logs
+}
+
+// happensBefore topologically sorts the uncommitted regions so that for
+// every dependence edge A -> B (B depends on A), A precedes B. Edges to
+// committed regions are ignored (their data is durable).
+func happensBefore(deps []core.DepSnapshot) ([]arch.RID, error) {
+	present := make(map[arch.RID]bool, len(deps))
+	for _, d := range deps {
+		present[d.RID] = true
+	}
+	indeg := make(map[arch.RID]int, len(deps))
+	succ := make(map[arch.RID][]arch.RID)
+	for _, d := range deps {
+		if _, ok := indeg[d.RID]; !ok {
+			indeg[d.RID] = 0
+		}
+		for _, dep := range d.Deps {
+			if !present[dep] {
+				continue
+			}
+			succ[dep] = append(succ[dep], d.RID)
+			indeg[d.RID]++
+		}
+	}
+
+	ready := make([]arch.RID, 0, len(indeg))
+	for rid, n := range indeg {
+		if n == 0 {
+			ready = append(ready, rid)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+
+	var order []arch.RID
+	for len(ready) > 0 {
+		rid := ready[0]
+		ready = ready[1:]
+		order = append(order, rid)
+		next := succ[rid]
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		for _, s := range next {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != len(indeg) {
+		return nil, fmt.Errorf("recovery: dependence cycle among %d uncommitted regions", len(indeg)-len(order))
+	}
+	return order, nil
+}
+
+// DebugRestore installs an observer over undo applications (nil to clear);
+// used by debugging tools.
+func DebugRestore(fn func(rid arch.RID, dataLine, logLine arch.LineAddr, old []byte)) {
+	debugRestore = fn
+}

@@ -1,0 +1,106 @@
+// Package report renders experiment tables as horizontal ASCII bar charts,
+// the closest text equivalent of the paper's grouped-bar figures. It is
+// pure presentation: it consumes the experiment package's Table values.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chartable is the slice of experiment.Table that rendering needs,
+// declared structurally so report does not import experiment.
+type Chartable interface {
+	ChartTitle() string
+	ChartColumns() []string
+	ChartRows() []ChartRow
+}
+
+// ChartRow is one group of bars.
+type ChartRow struct {
+	Name   string
+	Values []float64
+}
+
+// Options tunes rendering.
+type Options struct {
+	// Width is the maximum bar length in characters (default 40).
+	Width int
+	// Baseline draws a reference tick at this value when > 0 (e.g. 1.0
+	// for normalized figures).
+	Baseline float64
+}
+
+// Render draws grouped horizontal bars, one group per row, one bar per
+// column, scaled to the table's maximum value.
+func Render(t Chartable, opt Options) string {
+	if opt.Width <= 0 {
+		opt.Width = 40
+	}
+	cols := t.ChartColumns()
+	rows := t.ChartRows()
+
+	maxVal := 0.0
+	for _, r := range rows {
+		for _, v := range r.Values {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	labelWidth := 0
+	for _, c := range cols {
+		if len(c) > labelWidth {
+			labelWidth = len(c)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.ChartTitle())
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s\n", r.Name)
+		for i, v := range r.Values {
+			name := ""
+			if i < len(cols) {
+				name = cols[i]
+			}
+			fmt.Fprintf(&b, "  %-*s %s %.3f\n", labelWidth, name, bar(v, maxVal, opt), v)
+		}
+	}
+	if opt.Baseline > 0 && opt.Baseline <= maxVal {
+		pos := int(opt.Baseline / maxVal * float64(opt.Width))
+		fmt.Fprintf(&b, "  %-*s %s^ %.1f\n", labelWidth, "", strings.Repeat(" ", pos), opt.Baseline)
+	}
+	return b.String()
+}
+
+// bar renders one value as a filled bar with a baseline tick.
+func bar(v, maxVal float64, opt Options) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		v = 0
+	}
+	n := int(math.Round(v / maxVal * float64(opt.Width)))
+	if n > opt.Width {
+		n = opt.Width
+	}
+	cells := make([]byte, opt.Width)
+	for i := range cells {
+		switch {
+		case i < n:
+			cells[i] = '#'
+		default:
+			cells[i] = ' '
+		}
+	}
+	if opt.Baseline > 0 && opt.Baseline <= maxVal {
+		pos := int(opt.Baseline / maxVal * float64(opt.Width))
+		if pos >= 0 && pos < opt.Width && cells[pos] == ' ' {
+			cells[pos] = '|'
+		}
+	}
+	return string(cells)
+}

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+type fakeTable struct {
+	title string
+	cols  []string
+	rows  []ChartRow
+}
+
+func (f fakeTable) ChartTitle() string     { return f.title }
+func (f fakeTable) ChartColumns() []string { return f.cols }
+func (f fakeTable) ChartRows() []ChartRow  { return f.rows }
+
+func sample() fakeTable {
+	return fakeTable{
+		title: "demo",
+		cols:  []string{"ASAP", "HWUndo"},
+		rows: []ChartRow{
+			{Name: "Q", Values: []float64{2.0, 1.0}},
+			{Name: "HM", Values: []float64{4.0, 2.0}},
+		},
+	}
+}
+
+func TestRenderContainsEverything(t *testing.T) {
+	out := Render(sample(), Options{Width: 20})
+	for _, want := range []string{"demo", "Q", "HM", "ASAP", "HWUndo", "2.000", "4.000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBarsScaleToMax(t *testing.T) {
+	out := Render(sample(), Options{Width: 20})
+	lines := strings.Split(out, "\n")
+	var maxBar, halfBar int
+	for _, l := range lines {
+		n := strings.Count(l, "#")
+		if strings.Contains(l, "4.000") {
+			maxBar = n
+		}
+		if strings.Contains(l, "2.000") && halfBar == 0 {
+			halfBar = n
+		}
+	}
+	if maxBar != 20 {
+		t.Fatalf("max bar = %d, want full width 20", maxBar)
+	}
+	if halfBar != 10 {
+		t.Fatalf("half bar = %d, want 10", halfBar)
+	}
+}
+
+func TestBaselineTick(t *testing.T) {
+	out := Render(sample(), Options{Width: 20, Baseline: 1.0})
+	if !strings.Contains(out, "|") {
+		t.Fatalf("baseline tick missing:\n%s", out)
+	}
+	if !strings.Contains(out, "^ 1.0") {
+		t.Fatalf("baseline legend missing:\n%s", out)
+	}
+}
+
+func TestRenderHandlesDegenerateValues(t *testing.T) {
+	f := fakeTable{
+		title: "bad",
+		cols:  []string{"x"},
+		rows: []ChartRow{
+			{Name: "nan", Values: []float64{math.NaN()}},
+			{Name: "inf", Values: []float64{math.Inf(1)}},
+			{Name: "neg", Values: []float64{-3}},
+			{Name: "zero", Values: []float64{0}},
+		},
+	}
+	out := Render(f, Options{})
+	if out == "" || strings.Count(out, "\n") < 5 {
+		t.Fatalf("degenerate table not rendered:\n%s", out)
+	}
+}
+
+func TestDefaultWidth(t *testing.T) {
+	out := Render(sample(), Options{})
+	if !strings.Contains(out, strings.Repeat("#", 40)) {
+		t.Fatal("default width 40 not applied to the max bar")
+	}
+}

@@ -1,0 +1,349 @@
+package schemes
+
+import (
+	"sort"
+
+	"asap/internal/arch"
+	"asap/internal/cache"
+	"asap/internal/machine"
+	"asap/internal/memdev"
+	"asap/internal/sim"
+	"asap/internal/stats"
+	"asap/internal/wal"
+)
+
+// redoARegion is one atomic region's state under asynchronous-commit redo
+// logging (the Figure 2c design).
+type redoARegion struct {
+	rid arch.RID
+	ts  *redoAThread
+
+	dirty map[arch.LineAddr]bool
+	deps  map[arch.RID]struct{}
+
+	pendingLogs int  // log-line writes not yet accepted
+	ended       bool // asap_end ran
+	markerSent  bool
+	logDone     bool // all LPOs + commit marker accepted
+	committed   bool
+
+	pendingDPOs int
+	rec         arch.LineAddr
+	recUsed     int
+	logEnd      uint64
+	words       int
+}
+
+// redoAThread is one thread's state.
+type redoAThread struct {
+	log   *wal.ThreadLog
+	nest  int
+	local uint64
+
+	cur     *redoARegion
+	last    *redoARegion
+	beginAt uint64
+}
+
+// ASAPRedo is the paper's suggested alternative design (§3): asynchronous
+// commit applied to redo logging. Stores append new values to a packed
+// redo log and update data in place in the cache; asap_end returns
+// immediately. A region commits in the background once all its log writes
+// and its commit marker have been accepted AND every region it depends on
+// has committed — the Figure 2c rule, mirrored from ASAP's Dependence
+// List. Only then do its DPOs (in-place data writes) go out, and the log
+// is freed once they complete.
+//
+// Compared to undo-based ASAP, DPOs are less eager (they wait for commit)
+// and evicted-dirty reads redirect to the log — exactly the §3 trade-off
+// that made the authors choose undo logging.
+type ASAPRedo struct {
+	m       *machine.Machine
+	threads map[int]*redoAThread
+	regions map[arch.RID]*redoARegion
+
+	redirect map[arch.LineAddr]bool
+
+	// Window bounds outstanding log writes per region.
+	Window int
+	// RedirectPenalty is the extra latency of a log-redirected read.
+	RedirectPenalty uint64
+}
+
+var _ machine.Scheme = (*ASAPRedo)(nil)
+
+// NewASAPRedo builds the asynchronous-commit redo engine on m.
+func NewASAPRedo(m *machine.Machine) *ASAPRedo {
+	s := &ASAPRedo{
+		m:               m,
+		threads:         make(map[int]*redoAThread),
+		regions:         make(map[arch.RID]*redoARegion),
+		redirect:        make(map[arch.LineAddr]bool),
+		Window:          64,
+		RedirectPenalty: 30,
+	}
+	m.Caches.SetEvictHook(s.onEvict)
+	return s
+}
+
+// Name implements machine.Scheme.
+func (s *ASAPRedo) Name() string { return "ASAP-Redo" }
+
+// InitThread implements machine.Scheme.
+func (s *ASAPRedo) InitThread(t *sim.Thread) {
+	s.threads[t.ID()] = &redoAThread{log: wal.NewThreadLog(s.m.Heap, 256<<10)}
+	t.Advance(200)
+}
+
+func (s *ASAPRedo) state(t *sim.Thread) *redoAThread { return s.threads[t.ID()] }
+
+// Begin implements machine.Scheme: open a region, capturing the control
+// dependence on the thread's previous region if it is still uncommitted.
+func (s *ASAPRedo) Begin(t *sim.Thread) {
+	ts := s.state(t)
+	ts.nest++
+	if ts.nest > 1 {
+		t.Advance(1)
+		return
+	}
+	ts.beginAt = t.Now()
+	ts.local++
+	r := &redoARegion{
+		rid:   arch.MakeRID(t.ID(), ts.local),
+		ts:    ts,
+		dirty: make(map[arch.LineAddr]bool),
+		deps:  make(map[arch.RID]struct{}),
+	}
+	if prev := ts.last; prev != nil && !prev.committed {
+		r.deps[prev.rid] = struct{}{}
+	}
+	s.regions[r.rid] = r
+	ts.cur = r
+	ts.last = r
+	s.m.St.Inc(stats.RegionsBegun)
+	t.Advance(4)
+}
+
+// End implements machine.Scheme: flush the partial log line and return —
+// the commit marker, the commit itself and the DPOs all happen in the
+// background (asynchronous commit).
+func (s *ASAPRedo) End(t *sim.Thread) {
+	ts := s.state(t)
+	ts.nest--
+	if ts.nest > 0 {
+		t.Advance(1)
+		return
+	}
+	r := ts.cur
+	ts.cur = nil
+	if r.words > 0 {
+		r.words = 0
+		s.flushLogLine(t, r)
+	}
+	r.ended = true
+	s.maybeSendMarker(r)
+	t.Advance(4)
+	s.m.St.Add(stats.RegionCycles, int64(t.Now()-ts.beginAt))
+	s.m.St.Hist(stats.RegionLatency).Observe(t.Now() - ts.beginAt)
+}
+
+// maybeSendMarker persists the commit marker once every log write has
+// been accepted and the region has ended.
+func (s *ASAPRedo) maybeSendMarker(r *redoARegion) {
+	if !r.ended || r.markerSent || r.pendingLogs > 0 {
+		return
+	}
+	r.markerSent = true
+	if len(r.dirty) == 0 {
+		// Read-only region: nothing to replay, commit directly.
+		r.logDone = true
+		s.maybeCommit(r)
+		return
+	}
+	if r.rec == 0 {
+		s.allocRecord(nil, r)
+	}
+	hdr := wal.EncodeHeader(r.rid, firstLines(r.dirty))
+	s.m.Fabric.SubmitPersist(&memdev.Entry{
+		Kind: memdev.KindLogHeader, RID: r.rid, Dst: r.rec, Subject: r.rec, Payload: hdr,
+	}, func(uint64) {
+		r.logDone = true
+		s.maybeCommit(r)
+	})
+}
+
+// maybeCommit applies the Figure 2c rule: the region commits once its log
+// (including the marker) is durable and every dependence has committed;
+// only then do the in-place DPOs go out.
+func (s *ASAPRedo) maybeCommit(r *redoARegion) {
+	if r.committed || !r.logDone || len(r.deps) > 0 {
+		return
+	}
+	r.committed = true
+	s.m.St.Inc(stats.RegionsCommitted)
+
+	for _, line := range sortedLines(r.dirty) {
+		line := line
+		s.m.Fabric.SupersedeDPO(line)
+		r.pendingDPOs++
+		s.m.St.Inc(stats.DPOsIssued)
+		payload := s.m.Heap.ReadLine(line)
+		s.m.Fabric.SubmitPersist(&memdev.Entry{
+			Kind: memdev.KindDPO, RID: r.rid, Dst: line, Subject: line, Payload: payload,
+		}, func(uint64) {
+			r.pendingDPOs--
+			s.m.Caches.MarkClean(line)
+			if r.pendingDPOs == 0 {
+				// Data in place: the redo log may be reclaimed.
+				r.ts.log.FreeUpTo(r.logEnd)
+			}
+		})
+		delete(s.redirect, line)
+		meta := s.m.Caches.Table().Peek(line)
+		if meta != nil && meta.Owner == r.rid {
+			meta.Owner = arch.NoRID
+		}
+	}
+	delete(s.regions, r.rid)
+
+	// Broadcast to dependents, in RID order for determinism.
+	var rids []arch.RID
+	for rid, other := range s.regions {
+		if _, ok := other.deps[r.rid]; ok {
+			rids = append(rids, rid)
+		}
+	}
+	sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
+	for _, rid := range rids {
+		if other := s.regions[rid]; other != nil {
+			delete(other.deps, r.rid)
+			s.maybeCommit(other)
+		}
+	}
+}
+
+// Fence implements machine.Scheme (§5.2): wait for the thread's latest
+// region to commit.
+func (s *ASAPRedo) Fence(t *sim.Thread) {
+	ts := s.state(t)
+	s.m.St.Inc(stats.Fences)
+	last := ts.last
+	if last == nil {
+		return
+	}
+	t.WaitUntil(func() bool { return last.committed })
+}
+
+// DrainBarrier implements machine.Scheme.
+func (s *ASAPRedo) DrainBarrier(t *sim.Thread) {
+	t.WaitUntil(func() bool {
+		if len(s.regions) != 0 {
+			return false
+		}
+		return s.m.Fabric.Quiesced()
+	})
+}
+
+// Load implements machine.Scheme with dependence capture and redirect
+// penalties.
+func (s *ASAPRedo) Load(t *sim.Thread, addr uint64, buf []byte) {
+	ts := s.state(t)
+	for _, line := range machine.LinesOf(addr, len(buf)) {
+		lat := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, false)
+		if s.redirect[line] {
+			lat += s.RedirectPenalty
+		}
+		t.Advance(lat)
+		if s.m.Heap.IsPersistentLine(line) && ts.cur != nil {
+			s.captureDep(ts.cur, line, false)
+		}
+	}
+	s.m.Heap.Read(addr, buf)
+}
+
+// Store implements machine.Scheme: direct update in cache, word-packed
+// redo logging, dependence capture and ownership transfer.
+func (s *ASAPRedo) Store(t *sim.Thread, addr uint64, data []byte) {
+	ts := s.state(t)
+	for _, line := range machine.LinesOf(addr, len(data)) {
+		lat := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, true)
+		t.Advance(lat)
+		if !s.m.Heap.IsPersistentLine(line) || ts.cur == nil {
+			continue
+		}
+		s.captureDep(ts.cur, line, true)
+		ts.cur.dirty[line] = true
+	}
+	if ts.cur != nil && s.m.Heap.IsPersistentAddr(addr) {
+		r := ts.cur
+		r.words += (len(data) + 7) / 8
+		for r.words >= 8 {
+			r.words -= 8
+			t.WaitUntil(func() bool { return r.pendingLogs < s.Window })
+			s.flushLogLine(t, r)
+		}
+	}
+	s.m.Heap.Write(addr, data)
+}
+
+// captureDep records a data dependence through the line's OwnerRID tag.
+func (s *ASAPRedo) captureDep(r *redoARegion, line arch.LineAddr, isWrite bool) {
+	meta := s.m.Caches.Table().Get(line)
+	if owner := meta.Owner; owner != arch.NoRID && owner != r.rid {
+		if _, active := s.regions[owner]; active {
+			r.deps[owner] = struct{}{}
+			s.m.St.Inc(stats.DepEdges)
+		} else {
+			meta.Owner = arch.NoRID
+		}
+	}
+	if isWrite {
+		meta.Owner = r.rid
+	}
+}
+
+// flushLogLine sends one packed redo log line toward the WPQ. t may be
+// nil when called from event context (marker path record allocation).
+func (s *ASAPRedo) flushLogLine(t *sim.Thread, r *redoARegion) {
+	if r.recUsed == wal.RecordEntries || r.rec == 0 {
+		s.allocRecord(t, r)
+	}
+	logLine := wal.EntryLine(r.rec, r.recUsed)
+	r.recUsed++
+	r.pendingLogs++
+	s.m.St.Inc(stats.LPOsIssued)
+	payload := make([]byte, arch.LineSize)
+	s.m.Fabric.SubmitPersist(&memdev.Entry{
+		Kind: memdev.KindLPO, RID: r.rid, Dst: logLine, Subject: logLine, Payload: payload,
+	}, func(uint64) {
+		r.pendingLogs--
+		s.maybeSendMarker(r)
+	})
+}
+
+func (s *ASAPRedo) allocRecord(t *sim.Thread, r *redoARegion) {
+	rec, end, ok := r.ts.log.AllocRecord()
+	if !ok {
+		s.m.St.Inc(stats.LogOverflows)
+		if t != nil {
+			t.Advance(2000)
+		}
+		r.ts.log.Grow()
+		rec, end, _ = r.ts.log.AllocRecord()
+	}
+	r.rec, r.recUsed, r.logEnd = rec, 0, end
+}
+
+// onEvict suppresses in-place writeback of lines owned by uncommitted
+// regions (their durable new values live only in the log).
+func (s *ASAPRedo) onEvict(info cache.EvictInfo) {
+	if owner := info.Meta.Owner; owner != arch.NoRID {
+		if _, active := s.regions[owner]; active {
+			s.redirect[info.Line] = true
+			info.Meta.Owner = arch.NoRID
+			return
+		}
+		info.Meta.Owner = arch.NoRID
+	}
+	evictWriteback(s.m, info)
+}

@@ -1,0 +1,256 @@
+package schemes
+
+import (
+	"asap/internal/arch"
+	"asap/internal/cache"
+	"asap/internal/machine"
+	"asap/internal/memdev"
+	"asap/internal/sim"
+	"asap/internal/stats"
+	"asap/internal/wal"
+)
+
+// redoThread is one thread's hardware-redo-logging state.
+type redoThread struct {
+	log     *wal.ThreadLog
+	nest    int
+	beginAt uint64
+	local   uint64
+	rid     arch.RID
+
+	dirty       map[arch.LineAddr]bool
+	words       int // redo words buffered toward the next log-line write
+	pendingLogs int
+	rec         arch.LineAddr
+	recUsed     int
+	logEnd      uint64
+}
+
+// HWRedo is the state-of-the-art hardware redo-logging baseline (§6.3,
+// after Jeong et al.): stores are logged at word granularity into packed
+// redo log lines, the region commits synchronously once all its LPOs (log
+// line writes) and its commit record have persisted, and the DPOs — the
+// in-place data writes — happen after commit, asynchronously, with stale
+// queued DPOs filtered out when a newer DPO for the same line is issued.
+//
+// Data lines modified by an uncommitted region must not reach PM in place;
+// if one is evicted, later reads are redirected to the log at a penalty.
+type HWRedo struct {
+	m       *machine.Machine
+	threads map[int]*redoThread
+
+	// owned maps a line to the uncommitted region that modified it, for
+	// eviction suppression and read redirection.
+	owned map[arch.LineAddr]arch.RID
+	// redirect holds evicted-while-uncommitted lines whose reads must go
+	// to the log.
+	redirect map[arch.LineAddr]bool
+
+	// RedirectPenalty is the extra latency of a log-redirected read.
+	RedirectPenalty uint64
+	// Window bounds the outstanding log writes per thread (§6.3: on-chip
+	// resources of similar size to ASAP's).
+	Window int
+}
+
+var _ machine.Scheme = (*HWRedo)(nil)
+
+// NewHWRedo builds the hardware redo-logging baseline on m.
+func NewHWRedo(m *machine.Machine) *HWRedo {
+	s := &HWRedo{
+		m:               m,
+		threads:         make(map[int]*redoThread),
+		owned:           make(map[arch.LineAddr]arch.RID),
+		redirect:        make(map[arch.LineAddr]bool),
+		RedirectPenalty: 30,
+		Window:          64,
+	}
+	m.Caches.SetEvictHook(s.onEvict)
+	return s
+}
+
+// Name implements machine.Scheme.
+func (s *HWRedo) Name() string { return "HWRedo" }
+
+// InitThread implements machine.Scheme.
+func (s *HWRedo) InitThread(t *sim.Thread) {
+	s.threads[t.ID()] = &redoThread{
+		log:   wal.NewThreadLog(s.m.Heap, 256<<10),
+		dirty: make(map[arch.LineAddr]bool),
+	}
+	t.Advance(200)
+}
+
+func (s *HWRedo) state(t *sim.Thread) *redoThread { return s.threads[t.ID()] }
+
+// Begin implements machine.Scheme.
+func (s *HWRedo) Begin(t *sim.Thread) {
+	ts := s.state(t)
+	ts.nest++
+	if ts.nest > 1 {
+		t.Advance(1)
+		return
+	}
+	ts.beginAt = t.Now()
+	ts.local++
+	ts.rid = arch.MakeRID(t.ID(), ts.local)
+	ts.dirty = make(map[arch.LineAddr]bool)
+	ts.words = 0
+	s.m.St.Inc(stats.RegionsBegun)
+	t.Advance(4)
+}
+
+// End implements machine.Scheme: synchronous commit on the log side. The
+// partial log line flushes, every log write must be accepted, and the
+// commit record persists — only then may execution proceed. The DPOs
+// follow asynchronously.
+func (s *HWRedo) End(t *sim.Thread) {
+	ts := s.state(t)
+	ts.nest--
+	if ts.nest > 0 {
+		t.Advance(1)
+		return
+	}
+	if ts.words > 0 {
+		s.flushLogLine(t, ts)
+	}
+	t.WaitUntil(func() bool { return ts.pendingLogs == 0 })
+
+	if len(ts.dirty) > 0 {
+		// Commit record: redo logging needs a durable commit marker before
+		// the log may be replayed (and before execution proceeds).
+		if ts.rec == 0 {
+			s.allocRecord(t, ts)
+		}
+		ts.pendingLogs++
+		hdr := wal.EncodeHeader(ts.rid, firstLines(ts.dirty))
+		s.m.Fabric.SubmitPersist(&memdev.Entry{
+			Kind: memdev.KindLogHeader, RID: ts.rid, Dst: ts.rec, Subject: ts.rec, Payload: hdr,
+		}, func(uint64) { ts.pendingLogs-- })
+		t.WaitUntil(func() bool { return ts.pendingLogs == 0 })
+	}
+
+	// Committed. Issue the in-place DPOs asynchronously, superseding any
+	// still-queued DPO to the same line from an earlier region — the
+	// redo-side write filtering (§7.2).
+	rid := ts.rid
+	for _, line := range sortedLines(ts.dirty) {
+		line := line
+		s.m.Fabric.SupersedeDPO(line)
+		s.m.St.Inc(stats.DPOsIssued)
+		payload := s.m.Heap.ReadLine(line)
+		s.m.Fabric.SubmitPersist(&memdev.Entry{
+			Kind: memdev.KindDPO, RID: rid, Dst: line, Subject: line, Payload: payload,
+		}, func(uint64) { s.m.Caches.MarkClean(line) })
+		if s.owned[line] == rid {
+			delete(s.owned, line)
+		}
+		delete(s.redirect, line)
+	}
+	ts.log.FreeUpTo(ts.logEnd)
+	ts.rec, ts.recUsed = 0, 0
+	t.Advance(4)
+	s.m.St.Add(stats.RegionCycles, int64(t.Now()-ts.beginAt))
+	s.m.St.Hist(stats.RegionLatency).Observe(t.Now() - ts.beginAt)
+	s.m.St.Inc(stats.RegionsCommitted)
+}
+
+func firstLines(m map[arch.LineAddr]bool) []arch.LineAddr {
+	lines := sortedLines(m)
+	if len(lines) > wal.RecordEntries {
+		lines = lines[:wal.RecordEntries]
+	}
+	return lines
+}
+
+// Fence implements machine.Scheme: commit is synchronous at End.
+func (s *HWRedo) Fence(t *sim.Thread) { s.m.St.Inc(stats.Fences) }
+
+// Load implements machine.Scheme, charging the log-redirection penalty for
+// lines whose in-cache copy was evicted before commit (§2.3).
+func (s *HWRedo) Load(t *sim.Thread, addr uint64, buf []byte) {
+	for _, line := range machine.LinesOf(addr, len(buf)) {
+		lat := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, false)
+		if s.redirect[line] {
+			lat += s.RedirectPenalty
+		}
+		t.Advance(lat)
+	}
+	s.m.Heap.Read(addr, buf)
+}
+
+// Store implements machine.Scheme: every persistent word written inside a
+// region is appended to the packed redo log; a log line flushes (one LPO)
+// per eight words.
+func (s *HWRedo) Store(t *sim.Thread, addr uint64, data []byte) {
+	ts := s.state(t)
+	for _, line := range machine.LinesOf(addr, len(data)) {
+		lat := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, true)
+		t.Advance(lat)
+		if !s.m.Heap.IsPersistentLine(line) || ts.nest == 0 {
+			continue
+		}
+		ts.dirty[line] = true
+		s.owned[line] = ts.rid
+	}
+	if ts.nest > 0 && s.m.Heap.IsPersistentAddr(addr) {
+		words := (len(data) + 7) / 8
+		ts.words += words
+		for ts.words >= 8 {
+			ts.words -= 8
+			t.WaitUntil(func() bool { return ts.pendingLogs < s.Window })
+			s.flushLogLine(t, ts)
+		}
+	}
+	s.m.Heap.Write(addr, data)
+}
+
+// flushLogLine sends one packed redo log line toward the WPQ.
+func (s *HWRedo) flushLogLine(t *sim.Thread, ts *redoThread) {
+	if ts.recUsed == wal.RecordEntries || ts.rec == 0 {
+		s.allocRecord(t, ts)
+	}
+	logLine := wal.EntryLine(ts.rec, ts.recUsed)
+	ts.recUsed++
+	ts.pendingLogs++
+	s.m.St.Inc(stats.LPOsIssued)
+	payload := make([]byte, arch.LineSize) // packed new-value words
+	s.m.Fabric.SubmitPersist(&memdev.Entry{
+		Kind: memdev.KindLPO, RID: ts.rid, Dst: logLine, Subject: logLine, Payload: payload,
+	}, func(uint64) { ts.pendingLogs-- })
+	ts.words = max(ts.words, 0)
+}
+
+func (s *HWRedo) allocRecord(t *sim.Thread, ts *redoThread) {
+	rec, end, ok := ts.log.AllocRecord()
+	if !ok {
+		s.m.St.Inc(stats.LogOverflows)
+		t.Advance(2000)
+		ts.log.Grow()
+		rec, end, _ = ts.log.AllocRecord()
+	}
+	ts.rec, ts.recUsed, ts.logEnd = rec, 0, end
+}
+
+// onEvict suppresses in-place writeback of lines modified by uncommitted
+// regions: their new values exist only in the log until commit, so reads
+// redirect there instead.
+func (s *HWRedo) onEvict(info cache.EvictInfo) {
+	if rid, ok := s.owned[info.Line]; ok && rid != arch.NoRID {
+		s.redirect[info.Line] = true
+		return
+	}
+	evictWriteback(s.m, info)
+}
+
+// DrainBarrier implements machine.Scheme.
+func (s *HWRedo) DrainBarrier(t *sim.Thread) {
+	t.WaitUntil(s.m.Fabric.Quiesced)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

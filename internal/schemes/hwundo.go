@@ -1,0 +1,217 @@
+package schemes
+
+import (
+	"asap/internal/arch"
+	"asap/internal/cache"
+	"asap/internal/machine"
+	"asap/internal/memdev"
+	"asap/internal/sim"
+	"asap/internal/stats"
+	"asap/internal/wal"
+)
+
+// undoThread is one thread's hardware-undo-logging state.
+type undoThread struct {
+	log     *wal.ThreadLog
+	nest    int
+	beginAt uint64
+	local   uint64
+
+	logged      map[arch.LineAddr]bool // LPO issued this region
+	dirty       map[arch.LineAddr]bool // lines still needing a DPO
+	dpoDone     map[arch.LineAddr]bool // eager DPO already accepted
+	pendingLPOs int
+	pendingDPOs int
+	rec         arch.LineAddr
+	recUsed     int
+	logEnd      uint64
+	rid         arch.RID
+}
+
+// HWUndo is the state-of-the-art hardware undo-logging baseline (Proteus
+// style, §6.3): LPOs are initiated automatically in hardware and overlap
+// with execution inside the region, DPOs are initiated at region end, and
+// the region commits synchronously — instruction execution waits at
+// asap_end until every LPO and DPO has completed (§2.3). LPO dropping is
+// applied on commit, as in the original work.
+type HWUndo struct {
+	m       *machine.Machine
+	threads map[int]*undoThread
+
+	// TruncateDelay is how long after a region's synchronous commit the
+	// log-truncation hardware gets around to freeing its log and dropping
+	// its queued LPOs (Proteus truncates lazily, off the critical path).
+	TruncateDelay uint64
+	// Window bounds the outstanding persist operations per thread: the
+	// baselines get on-chip tracking resources of a size similar to
+	// ASAP's (§6.3), not unbounded ones.
+	Window int
+}
+
+var _ machine.Scheme = (*HWUndo)(nil)
+
+// NewHWUndo builds the hardware undo-logging baseline on m.
+func NewHWUndo(m *machine.Machine) *HWUndo {
+	s := &HWUndo{m: m, threads: make(map[int]*undoThread), TruncateDelay: 500, Window: 64}
+	m.Caches.SetEvictHook(func(info cache.EvictInfo) { evictWriteback(m, info) })
+	return s
+}
+
+// Name implements machine.Scheme.
+func (s *HWUndo) Name() string { return "HWUndo" }
+
+// InitThread implements machine.Scheme.
+func (s *HWUndo) InitThread(t *sim.Thread) {
+	s.threads[t.ID()] = &undoThread{
+		log:     wal.NewThreadLog(s.m.Heap, 256<<10),
+		logged:  make(map[arch.LineAddr]bool),
+		dirty:   make(map[arch.LineAddr]bool),
+		dpoDone: make(map[arch.LineAddr]bool),
+	}
+	t.Advance(200)
+}
+
+func (s *HWUndo) state(t *sim.Thread) *undoThread { return s.threads[t.ID()] }
+
+// Begin implements machine.Scheme.
+func (s *HWUndo) Begin(t *sim.Thread) {
+	ts := s.state(t)
+	ts.nest++
+	if ts.nest > 1 {
+		t.Advance(1)
+		return
+	}
+	ts.beginAt = t.Now()
+	ts.local++
+	ts.rid = arch.MakeRID(t.ID(), ts.local)
+	ts.logged = make(map[arch.LineAddr]bool)
+	ts.dirty = make(map[arch.LineAddr]bool)
+	ts.dpoDone = make(map[arch.LineAddr]bool)
+	s.m.St.Inc(stats.RegionsBegun)
+	t.Advance(4)
+}
+
+// End implements machine.Scheme: the synchronous commit of §2.3. All LPOs
+// must complete, then all DPOs are initiated and must complete, before
+// instruction execution proceeds past the region.
+func (s *HWUndo) End(t *sim.Thread) {
+	ts := s.state(t)
+	ts.nest--
+	if ts.nest > 0 {
+		t.Advance(1)
+		return
+	}
+	// Most DPOs were initiated eagerly when their LPOs completed (§2.3);
+	// the remainder are lines whose LPO is still in flight or that were
+	// rewritten after their eager DPO. Wait for LPOs, flush the stragglers,
+	// wait for all DPOs — the synchronous commit.
+	t.WaitUntil(func() bool { return ts.pendingLPOs == 0 })
+	for _, line := range sortedLines(ts.dirty) {
+		s.issueDPO(ts, line)
+	}
+	t.WaitUntil(func() bool { return ts.pendingDPOs == 0 })
+
+	// Committed: the log is freed and its still-queued LPOs dropped
+	// (§5.1) when the lazy truncation pass reaches this region.
+	logEnd, rid := ts.logEnd, ts.rid
+	s.m.K.ScheduleAfter(s.TruncateDelay, func() {
+		ts.log.FreeUpTo(logEnd)
+		s.m.Fabric.DropRegionOps(rid)
+	})
+	ts.rec, ts.recUsed = 0, 0
+	t.Advance(4)
+	s.m.St.Add(stats.RegionCycles, int64(t.Now()-ts.beginAt))
+	s.m.St.Hist(stats.RegionLatency).Observe(t.Now() - ts.beginAt)
+	s.m.St.Inc(stats.RegionsCommitted)
+}
+
+// Fence implements machine.Scheme: synchronous commit means nothing is
+// outstanding after End.
+func (s *HWUndo) Fence(t *sim.Thread) { s.m.St.Inc(stats.Fences) }
+
+// Load implements machine.Scheme.
+func (s *HWUndo) Load(t *sim.Thread, addr uint64, buf []byte) {
+	s.m.Access(t, addr, len(buf), false, nil)
+	s.m.Heap.Read(addr, buf)
+}
+
+// Store implements machine.Scheme: the hardware initiates an LPO on the
+// first write to each line, transparently and asynchronously.
+func (s *HWUndo) Store(t *sim.Thread, addr uint64, data []byte) {
+	ts := s.state(t)
+	for _, line := range machine.LinesOf(addr, len(data)) {
+		lat := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, true)
+		t.Advance(lat)
+		if !s.m.Heap.IsPersistentLine(line) || ts.nest == 0 {
+			continue
+		}
+		ts.dirty[line] = true
+		delete(ts.dpoDone, line) // rewritten: the eager DPO is stale
+		if ts.logged[line] {
+			continue
+		}
+		ts.logged[line] = true
+		t.WaitUntil(func() bool { return ts.pendingLPOs+ts.pendingDPOs < s.Window })
+		s.issueLPO(t, ts, line)
+	}
+	s.m.Heap.Write(addr, data)
+}
+
+func (s *HWUndo) issueLPO(t *sim.Thread, ts *undoThread, line arch.LineAddr) {
+	if ts.recUsed == wal.RecordEntries || ts.rec == 0 {
+		if ts.rec != 0 {
+			// Filled record: its header goes to the WPQ in the background.
+			hdr := wal.EncodeHeader(ts.rid, nil)
+			s.m.Fabric.SubmitPersist(&memdev.Entry{
+				Kind: memdev.KindLogHeader, RID: ts.rid, Dst: ts.rec, Subject: ts.rec, Payload: hdr,
+			}, nil)
+		}
+		rec, end, ok := ts.log.AllocRecord()
+		if !ok {
+			s.m.St.Inc(stats.LogOverflows)
+			t.Advance(2000)
+			ts.log.Grow()
+			rec, end, _ = ts.log.AllocRecord()
+		}
+		ts.rec, ts.recUsed, ts.logEnd = rec, 0, end
+	}
+	logLine := wal.EntryLine(ts.rec, ts.recUsed)
+	ts.recUsed++
+	payload := s.m.Heap.ReadLine(line) // old value
+	ts.pendingLPOs++
+	rid := ts.rid
+	s.m.St.Inc(stats.LPOsIssued)
+	s.m.Fabric.SubmitPersist(&memdev.Entry{
+		Kind: memdev.KindLPO, RID: ts.rid, Dst: logLine, Subject: line, Payload: payload,
+	}, func(uint64) {
+		ts.pendingLPOs--
+		// Once the LPO completes, the corresponding DPO is initiated
+		// (§2.3) — eagerly, overlapping with the rest of the region.
+		if ts.rid == rid && ts.dirty[line] {
+			s.issueDPO(ts, line)
+		}
+	})
+}
+
+// issueDPO writes line back in place and records completion.
+func (s *HWUndo) issueDPO(ts *undoThread, line arch.LineAddr) {
+	if ts.dpoDone[line] {
+		return
+	}
+	delete(ts.dirty, line)
+	ts.pendingDPOs++
+	s.m.St.Inc(stats.DPOsIssued)
+	payload := s.m.Heap.ReadLine(line)
+	s.m.Fabric.SubmitPersist(&memdev.Entry{
+		Kind: memdev.KindDPO, RID: ts.rid, Dst: line, Subject: line, Payload: payload,
+	}, func(uint64) {
+		ts.pendingDPOs--
+		ts.dpoDone[line] = true
+		s.m.Caches.MarkClean(line)
+	})
+}
+
+// DrainBarrier implements machine.Scheme.
+func (s *HWUndo) DrainBarrier(t *sim.Thread) {
+	t.WaitUntil(s.m.Fabric.Quiesced)
+}

@@ -1,0 +1,234 @@
+package schemes
+
+import (
+	"sort"
+
+	"asap/internal/arch"
+	"asap/internal/cache"
+	"asap/internal/machine"
+	"asap/internal/memdev"
+	"asap/internal/sim"
+	"asap/internal/stats"
+	"asap/internal/wal"
+)
+
+// swThread is one thread's software-logging state.
+type swThread struct {
+	log     *wal.ThreadLog
+	nest    int
+	beginAt uint64
+	logged  map[arch.LineAddr]arch.LineAddr // data line -> log line (this region)
+	dirty   map[arch.LineAddr]bool          // lines to flush at region end
+	pending int                             // outstanding synchronous persists
+	local   uint64                          // per-thread region counter
+	logEnd  uint64
+	rec     arch.LineAddr // current record header
+	recUsed int
+}
+
+// SW is the software undo-logging baseline of §6.3: distributed per-thread
+// logs, persist instructions (clwb + fence) on the critical path, persist
+// operations hand-coalesced per cache line within a region and overlapped
+// where possible (all DPO flushes issued before one final fence).
+//
+// DPOOnly drops the logging half, leaving only the data flushes: the
+// Figure 1 "DPO Only" configuration.
+type SW struct {
+	m       *machine.Machine
+	threads map[int]*swThread
+
+	// DPOOnly disables LPOs (no WAL): Figure 1's middle bar.
+	DPOOnly bool
+	// InstrOverhead models the extra instructions of software logging per
+	// persist operation (bookkeeping, address computation).
+	InstrOverhead uint64
+}
+
+var _ machine.Scheme = (*SW)(nil)
+
+// NewSW builds the software-logging baseline on m.
+func NewSW(m *machine.Machine) *SW {
+	s := &SW{m: m, threads: make(map[int]*swThread), InstrOverhead: 12}
+	m.Caches.SetEvictHook(func(info cache.EvictInfo) { evictWriteback(m, info) })
+	return s
+}
+
+// NewSWDPOOnly builds the Figure 1 "DPO Only" variant.
+func NewSWDPOOnly(m *machine.Machine) *SW {
+	s := NewSW(m)
+	s.DPOOnly = true
+	return s
+}
+
+// Name implements machine.Scheme.
+func (s *SW) Name() string {
+	if s.DPOOnly {
+		return "SW-DPOOnly"
+	}
+	return "SW"
+}
+
+// InitThread implements machine.Scheme.
+func (s *SW) InitThread(t *sim.Thread) {
+	ts := &swThread{
+		logged: make(map[arch.LineAddr]arch.LineAddr),
+		dirty:  make(map[arch.LineAddr]bool),
+	}
+	if !s.DPOOnly {
+		ts.log = wal.NewThreadLog(s.m.Heap, 256<<10)
+	}
+	s.threads[t.ID()] = ts
+	t.Advance(200)
+}
+
+func (s *SW) state(t *sim.Thread) *swThread { return s.threads[t.ID()] }
+
+// Begin implements machine.Scheme.
+func (s *SW) Begin(t *sim.Thread) {
+	ts := s.state(t)
+	ts.nest++
+	if ts.nest > 1 {
+		t.Advance(1)
+		return
+	}
+	ts.beginAt = t.Now()
+	ts.local++
+	ts.logged = make(map[arch.LineAddr]arch.LineAddr)
+	ts.dirty = make(map[arch.LineAddr]bool)
+	s.m.St.Inc(stats.RegionsBegun)
+	t.Advance(s.InstrOverhead)
+}
+
+// End implements machine.Scheme: flush every dirty line (overlapped), wait
+// for all the flushes, persist the commit record, free the log. All of it
+// on the critical path — the cost Figure 1 quantifies.
+func (s *SW) End(t *sim.Thread) {
+	ts := s.state(t)
+	ts.nest--
+	if ts.nest > 0 {
+		t.Advance(1)
+		return
+	}
+	// clwb every dirty line, then a single fence (hand-overlapped).
+	for _, line := range sortedLines(ts.dirty) {
+		line := line
+		ts.pending++
+		s.m.St.Inc(stats.DPOsIssued)
+		payload := s.m.Heap.ReadLine(line)
+		s.m.Fabric.SubmitPersist(&memdev.Entry{
+			Kind: memdev.KindDPO, Dst: line, Subject: line, Payload: payload,
+		}, func(uint64) { ts.pending--; s.m.Caches.MarkClean(line) })
+		t.Advance(s.InstrOverhead)
+	}
+	t.WaitUntil(func() bool { return ts.pending == 0 })
+
+	if !s.DPOOnly && len(ts.logged) > 0 {
+		// Persist the commit record (log truncation point) and wait.
+		ts.pending++
+		hdr := wal.EncodeHeader(arch.MakeRID(t.ID(), ts.local), keys(ts.logged))
+		s.m.Fabric.SubmitPersist(&memdev.Entry{
+			Kind: memdev.KindLogHeader, Dst: ts.rec, Subject: ts.rec, Payload: hdr,
+		}, func(uint64) { ts.pending-- })
+		t.WaitUntil(func() bool { return ts.pending == 0 })
+		ts.log.FreeUpTo(ts.logEnd)
+		ts.rec, ts.recUsed = 0, 0
+	}
+	t.Advance(s.InstrOverhead)
+	s.m.St.Add(stats.RegionCycles, int64(t.Now()-ts.beginAt))
+	s.m.St.Hist(stats.RegionLatency).Observe(t.Now() - ts.beginAt)
+	s.m.St.Inc(stats.RegionsCommitted)
+}
+
+// keys returns at most one record's worth of logged data lines for the
+// commit header payload, in address order.
+func keys(m map[arch.LineAddr]arch.LineAddr) []arch.LineAddr {
+	out := make([]arch.LineAddr, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(out) > wal.RecordEntries {
+		out = out[:wal.RecordEntries]
+	}
+	return out
+}
+
+// Fence implements machine.Scheme: SW regions are already synchronous.
+func (s *SW) Fence(t *sim.Thread) { s.m.St.Inc(stats.Fences) }
+
+// Load implements machine.Scheme.
+func (s *SW) Load(t *sim.Thread, addr uint64, buf []byte) {
+	s.m.Access(t, addr, len(buf), false, nil)
+	s.m.Heap.Read(addr, buf)
+}
+
+// Store implements machine.Scheme: on the first write to a line in a
+// region, write the undo entry and clwb+fence it before the store may
+// proceed — the write-ahead rule enforced in software.
+func (s *SW) Store(t *sim.Thread, addr uint64, data []byte) {
+	ts := s.state(t)
+	for _, line := range machine.LinesOf(addr, len(data)) {
+		lat := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, true)
+		t.Advance(lat)
+		if !s.m.Heap.IsPersistentLine(line) || ts.nest == 0 {
+			continue
+		}
+		ts.dirty[line] = true
+		if s.DPOOnly {
+			continue
+		}
+		if _, done := ts.logged[line]; done {
+			continue // hand-coalesced: one undo entry per line per region
+		}
+		logLine := s.appendUndo(t, ts, line)
+		ts.logged[line] = logLine
+	}
+	s.m.Heap.Write(addr, data)
+}
+
+// appendUndo writes one undo entry through the cache, then clwb+fence: the
+// old value must be durable before the data write lands (WAL).
+func (s *SW) appendUndo(t *sim.Thread, ts *swThread, line arch.LineAddr) arch.LineAddr {
+	if ts.recUsed == wal.RecordEntries || ts.rec == 0 {
+		hdr, end, ok := ts.log.AllocRecord()
+		if !ok {
+			s.m.St.Inc(stats.LogOverflows)
+			t.Advance(2000)
+			ts.log.Grow()
+			hdr, end, _ = ts.log.AllocRecord()
+		}
+		ts.rec, ts.recUsed, ts.logEnd = hdr, 0, end
+	}
+	logLine := wal.EntryLine(ts.rec, ts.recUsed)
+	ts.recUsed++
+
+	payload := s.m.Heap.ReadLine(line) // old value
+	// The software store of the log entry goes through the cache.
+	lat := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), logLine, true)
+	t.Advance(lat + s.InstrOverhead)
+	// clwb + mfence: wait for WPQ acceptance before continuing.
+	ts.pending++
+	s.m.St.Inc(stats.LPOsIssued)
+	s.m.Fabric.SubmitPersist(&memdev.Entry{
+		Kind: memdev.KindLPO, Dst: logLine, Subject: line, Payload: payload,
+	}, func(uint64) { ts.pending--; s.m.Caches.MarkClean(logLine) })
+	t.WaitUntil(func() bool { return ts.pending == 0 })
+	return logLine
+}
+
+// DrainBarrier implements machine.Scheme.
+func (s *SW) DrainBarrier(t *sim.Thread) {
+	t.WaitUntil(s.m.Fabric.Quiesced)
+}
+
+// evictWriteback is the shared dirty-line LLC eviction path for schemes
+// without special eviction handling.
+func evictWriteback(m *machine.Machine, info cache.EvictInfo) {
+	if !info.Dirty {
+		return
+	}
+	payload := m.Heap.ReadLine(info.Line)
+	m.Fabric.SubmitPersist(&memdev.Entry{
+		Kind: memdev.KindEvict, Dst: info.Line, Subject: info.Line, Payload: payload,
+	}, nil)
+}

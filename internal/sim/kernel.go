@@ -1,0 +1,190 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel multiplexes simulated threads (each backed by a goroutine, but
+// with exactly one ever running at a time) over a shared virtual clock, and
+// fires scheduled hardware events at exact cycles. Scheduling is
+// lowest-virtual-clock-first with a monotone sequence number as tiebreaker,
+// so a simulation is fully reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kernel is the simulation scheduler. The zero value is not usable; create
+// one with NewKernel.
+type Kernel struct {
+	threads []*Thread
+	events  eventQueue
+	now     uint64
+	seq     uint64
+	parked  chan *Thread
+	running bool
+	halted  bool
+}
+
+// Halt makes Run return at the next scheduling decision without running
+// further threads or events. It models a power failure: whatever state the
+// hardware holds at this instant is what a crash snapshot sees. Halt is
+// called from thread or event context.
+func (k *Kernel) Halt() { k.halted = true }
+
+// Halted reports whether Halt was called.
+func (k *Kernel) Halted() bool { return k.halted }
+
+// NewKernel returns an empty kernel at cycle 0.
+func NewKernel() *Kernel {
+	return &Kernel{parked: make(chan *Thread)}
+}
+
+// Now returns the kernel's current virtual time in cycles: the time of the
+// most recent event fired or thread step begun.
+func (k *Kernel) Now() uint64 { return k.now }
+
+// Spawn registers a simulated thread that will execute fn when Run is
+// called. The thread's virtual clock starts at the kernel's current time.
+// Spawn may also be called from inside a running thread to fork workers.
+func (k *Kernel) Spawn(name string, fn func(t *Thread)) *Thread {
+	t := &Thread{
+		k:      k,
+		id:     len(k.threads),
+		name:   name,
+		now:    k.now,
+		state:  stateRunnable,
+		resume: make(chan struct{}),
+	}
+	k.threads = append(k.threads, t)
+	go func() {
+		<-t.resume
+		fn(t)
+		t.state = stateDone
+		k.parked <- t
+	}()
+	return t
+}
+
+// Schedule registers fn to run at absolute cycle at. Events scheduled for a
+// time earlier than the kernel clock fire as soon as possible. fn runs in
+// kernel context: no simulated thread is executing concurrently, so it may
+// mutate shared hardware state freely.
+func (k *Kernel) Schedule(at uint64, fn func()) {
+	k.seq++
+	heap.Push(&k.events, &event{at: at, seq: k.seq, fn: fn})
+}
+
+// ScheduleAfter registers fn to run delay cycles from now.
+func (k *Kernel) ScheduleAfter(delay uint64, fn func()) {
+	k.Schedule(k.now+delay, fn)
+}
+
+// Run drives the simulation until every spawned thread has finished and the
+// event queue is drained. It panics with a diagnostic if all remaining
+// threads are blocked and no event can unblock them (simulated deadlock).
+func (k *Kernel) Run() {
+	if k.running {
+		panic("sim: Run called re-entrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+
+	for {
+		if k.halted {
+			return
+		}
+		t := k.nextRunnable()
+		ev := k.peekEvent()
+
+		switch {
+		case ev != nil && (t == nil || ev.at <= k.effectiveTime(t)):
+			heap.Pop(&k.events)
+			if ev.at > k.now {
+				k.now = ev.at
+			}
+			ev.fn()
+		case t != nil:
+			if t.state == stateBlocked {
+				// Re-checked by nextRunnable; claim the wakeup now so
+				// no sibling waiter can also slip past its predicate.
+				t.pred = nil
+				t.state = stateRunnable
+			}
+			if k.now > t.now {
+				t.now = k.now
+			}
+			if t.now > k.now {
+				k.now = t.now
+			}
+			t.resume <- struct{}{}
+			<-k.parked
+		default:
+			if k.allDone() {
+				return
+			}
+			panic("sim: deadlock: " + k.blockedReport())
+		}
+	}
+}
+
+// effectiveTime is the earliest cycle at which t could execute its next
+// step: its own clock, or the kernel clock if it is blocked and must wait
+// for the unblocking instant.
+func (k *Kernel) effectiveTime(t *Thread) uint64 {
+	if t.state == stateBlocked && k.now > t.now {
+		return k.now
+	}
+	return t.now
+}
+
+// nextRunnable returns the thread that should run next: among runnable
+// threads and blocked threads whose predicate currently holds, the one with
+// the smallest effective clock, breaking ties by spawn order. Predicates are
+// evaluated here, at scheduling time, so exactly one waiter can win a
+// just-freed resource.
+func (k *Kernel) nextRunnable() *Thread {
+	var best *Thread
+	for _, t := range k.threads {
+		switch t.state {
+		case stateRunnable:
+		case stateBlocked:
+			if !t.pred() {
+				continue
+			}
+		default:
+			continue
+		}
+		if best == nil || k.effectiveTime(t) < k.effectiveTime(best) {
+			best = t
+		}
+	}
+	return best
+}
+
+func (k *Kernel) peekEvent() *event {
+	if len(k.events) == 0 {
+		return nil
+	}
+	return k.events[0]
+}
+
+func (k *Kernel) allDone() bool {
+	for _, t := range k.threads {
+		if t.state != stateDone {
+			return false
+		}
+	}
+	return true
+}
+
+func (k *Kernel) blockedReport() string {
+	var names []string
+	for _, t := range k.threads {
+		if t.state == stateBlocked {
+			names = append(names, fmt.Sprintf("%s@%d", t.name, t.now))
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,336 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSingleThreadAdvances(t *testing.T) {
+	k := NewKernel()
+	var end uint64
+	k.Spawn("a", func(th *Thread) {
+		th.Advance(10)
+		th.Advance(5)
+		end = th.Now()
+	})
+	k.Run()
+	if end != 15 {
+		t.Fatalf("thread clock = %d, want 15", end)
+	}
+	if k.Now() != 15 {
+		t.Fatalf("kernel clock = %d, want 15", k.Now())
+	}
+}
+
+func TestThreadsInterleaveByClock(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Spawn("slow", func(th *Thread) {
+		for i := 0; i < 3; i++ {
+			th.Advance(10)
+			order = append(order, "slow")
+		}
+	})
+	k.Spawn("fast", func(th *Thread) {
+		for i := 0; i < 3; i++ {
+			th.Advance(4)
+			order = append(order, "fast")
+		}
+	})
+	k.Run()
+	want := []string{"fast", "fast", "slow", "fast", "slow", "slow"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var fired []uint64
+	k.Schedule(30, func() { fired = append(fired, 30) })
+	k.Schedule(10, func() { fired = append(fired, 10) })
+	k.Schedule(20, func() { fired = append(fired, 20) })
+	k.Spawn("t", func(th *Thread) { th.Advance(100) })
+	k.Run()
+	want := []uint64{10, 20, 30}
+	if !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+}
+
+func TestEventBeforeThreadAtSameInstant(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Schedule(10, func() { order = append(order, "event") })
+	k.Spawn("t", func(th *Thread) {
+		th.Advance(10)
+		order = append(order, "thread")
+	})
+	k.Run()
+	// An event at cycle 10 must be visible to a thread step beginning at 10.
+	want := []string{"event", "thread"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestEventTieBreakIsInsertionOrder(t *testing.T) {
+	k := NewKernel()
+	var fired []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.Schedule(7, func() { fired = append(fired, i) })
+	}
+	k.Spawn("t", func(th *Thread) { th.Advance(8) })
+	k.Run()
+	if !reflect.DeepEqual(fired, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("fired = %v, want insertion order", fired)
+	}
+}
+
+func TestWaitUntilUnblocksOnEvent(t *testing.T) {
+	k := NewKernel()
+	ready := false
+	var woke uint64
+	k.Schedule(50, func() { ready = true })
+	k.Spawn("waiter", func(th *Thread) {
+		th.Advance(1)
+		th.WaitUntil(func() bool { return ready })
+		woke = th.Now()
+	})
+	k.Run()
+	if woke != 50 {
+		t.Fatalf("woke at %d, want 50", woke)
+	}
+}
+
+func TestWaitUntilImmediateWhenTrue(t *testing.T) {
+	k := NewKernel()
+	var woke uint64
+	k.Spawn("w", func(th *Thread) {
+		th.Advance(3)
+		th.WaitUntil(func() bool { return true })
+		woke = th.Now()
+	})
+	k.Run()
+	if woke != 3 {
+		t.Fatalf("woke at %d, want 3 (no block)", woke)
+	}
+}
+
+func TestSleepUntil(t *testing.T) {
+	k := NewKernel()
+	var woke uint64
+	k.Spawn("s", func(th *Thread) {
+		th.SleepUntil(123)
+		woke = th.Now()
+	})
+	k.Run()
+	if woke != 123 {
+		t.Fatalf("woke at %d, want 123", woke)
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	k := NewKernel()
+	k.Spawn("stuck", func(th *Thread) {
+		th.WaitUntil(func() bool { return false })
+	})
+	k.Run()
+}
+
+func TestScheduleAfter(t *testing.T) {
+	k := NewKernel()
+	var at uint64
+	k.Spawn("t", func(th *Thread) {
+		th.Advance(10)
+		th.Kernel().ScheduleAfter(5, func() { at = th.Kernel().Now() })
+		th.Advance(100)
+	})
+	k.Run()
+	if at != 15 {
+		t.Fatalf("event fired at %d, want 15", at)
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	k := NewKernel()
+	var m Mutex
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 4; i++ {
+		k.Spawn("worker", func(th *Thread) {
+			for j := 0; j < 10; j++ {
+				m.Lock(th)
+				inside++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				th.Advance(7)
+				inside--
+				m.Unlock(th)
+				th.Advance(3)
+			}
+		})
+	}
+	k.Run()
+	if maxInside != 1 {
+		t.Fatalf("max threads inside critical section = %d, want 1", maxInside)
+	}
+}
+
+func TestMutexContentionCostsTime(t *testing.T) {
+	k := NewKernel()
+	var m Mutex
+	var second uint64
+	k.Spawn("first", func(th *Thread) {
+		m.Lock(th)
+		th.Advance(100)
+		m.Unlock(th)
+	})
+	k.Spawn("second", func(th *Thread) {
+		th.Advance(1) // ensure first grabs the lock
+		m.Lock(th)
+		second = th.Now()
+		m.Unlock(th)
+	})
+	k.Run()
+	if second < 104 {
+		t.Fatalf("contended acquire completed at %d, want >= 104", second)
+	}
+}
+
+func TestMutexUnlockByNonHolderPanics(t *testing.T) {
+	k := NewKernel()
+	var m Mutex
+	k.Spawn("a", func(th *Thread) { m.Lock(th) })
+	k.Spawn("b", func(th *Thread) {
+		th.Advance(10)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on foreign unlock")
+			}
+		}()
+		m.Unlock(th)
+	})
+	k.Run()
+}
+
+func TestTryLock(t *testing.T) {
+	k := NewKernel()
+	var m Mutex
+	k.Spawn("a", func(th *Thread) {
+		if !m.TryLock(th) {
+			t.Error("first TryLock should succeed")
+		}
+		if m.TryLock(th) {
+			t.Error("second TryLock should fail while held")
+		}
+	})
+	k.Run()
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []string {
+		k := NewKernel()
+		var trace []string
+		var m Mutex
+		for i, d := range []uint64{3, 5, 7} {
+			name := string(rune('a' + i))
+			d := d
+			k.Spawn(name, func(th *Thread) {
+				for j := 0; j < 5; j++ {
+					m.Lock(th)
+					th.Advance(d)
+					trace = append(trace, name)
+					m.Unlock(th)
+				}
+			})
+		}
+		return append(trace[:0:0], trace...)
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical runs diverged:\n%v\n%v", a, b)
+	}
+}
+
+func TestSpawnFromRunningThread(t *testing.T) {
+	k := NewKernel()
+	var childEnd uint64
+	k.Spawn("parent", func(th *Thread) {
+		th.Advance(10)
+		k.Spawn("child", func(c *Thread) {
+			c.Advance(5)
+			childEnd = c.Now()
+		})
+		th.Advance(1)
+	})
+	k.Run()
+	if childEnd != 15 {
+		t.Fatalf("child finished at %d, want 15 (spawned at 10, ran 5)", childEnd)
+	}
+}
+
+func TestKernelClockMonotone(t *testing.T) {
+	k := NewKernel()
+	var samples []uint64
+	k.Schedule(5, func() { samples = append(samples, k.Now()) })
+	k.Spawn("a", func(th *Thread) {
+		th.Advance(3)
+		samples = append(samples, k.Now())
+		th.Advance(10)
+		samples = append(samples, k.Now())
+	})
+	k.Run()
+	for i := 1; i < len(samples); i++ {
+		if samples[i] < samples[i-1] {
+			t.Fatalf("kernel clock went backwards: %v", samples)
+		}
+	}
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	k := NewKernel()
+	steps := 0
+	k.Schedule(50, func() { k.Halt() })
+	k.Spawn("w", func(th *Thread) {
+		for i := 0; i < 1000; i++ {
+			th.Advance(10)
+			steps++
+		}
+	})
+	k.Run()
+	if !k.Halted() {
+		t.Fatal("kernel not halted")
+	}
+	if steps >= 1000 {
+		t.Fatal("thread ran to completion despite halt")
+	}
+	if k.Now() > 100 {
+		t.Fatalf("kernel advanced to %d after halt at 50", k.Now())
+	}
+}
+
+func TestHaltFromThread(t *testing.T) {
+	k := NewKernel()
+	var after bool
+	k.Spawn("a", func(th *Thread) {
+		th.Advance(10)
+		k.Halt()
+		th.Advance(10) // still runs to its next yield...
+	})
+	k.Spawn("b", func(th *Thread) {
+		th.Advance(1000)
+		after = true // ...but no one else is scheduled afterwards
+	})
+	k.Run()
+	if after {
+		t.Fatal("another thread ran after Halt")
+	}
+}

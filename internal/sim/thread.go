@@ -1,0 +1,78 @@
+package sim
+
+type threadState uint8
+
+const (
+	stateRunnable threadState = iota
+	stateBlocked
+	stateDone
+)
+
+// Thread is a simulated hardware thread with its own virtual clock. All
+// methods must be called from within the thread's own function; the kernel
+// guarantees that only one thread executes at any instant, so code between
+// yields observes and mutates shared state atomically in simulated time.
+type Thread struct {
+	k      *Kernel
+	id     int
+	name   string
+	now    uint64
+	state  threadState
+	pred   func() bool
+	resume chan struct{}
+}
+
+// ID returns the thread's spawn index, used by hardware as the ThreadID part
+// of region IDs.
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the name given at Spawn.
+func (t *Thread) Name() string { return t.name }
+
+// Now returns the thread's virtual clock in cycles.
+func (t *Thread) Now() uint64 { return t.now }
+
+// Kernel returns the kernel this thread runs on.
+func (t *Thread) Kernel() *Kernel { return t.k }
+
+// Advance moves the thread's clock forward by cycles and yields to the
+// kernel so other threads and events at earlier times can run.
+func (t *Thread) Advance(cycles uint64) {
+	t.now += cycles
+	t.yield()
+}
+
+// Yield hands control to the kernel without advancing the clock. It gives
+// same-time events and threads a chance to run between two operations.
+func (t *Thread) Yield() { t.yield() }
+
+// WaitUntil blocks the thread until pred returns true. The predicate is
+// evaluated in kernel context (no other thread running) after every event
+// and thread step, and the thread resumes immediately once it holds, with
+// its clock advanced to the unblocking time. Between WaitUntil returning and
+// the thread's next yield no other thread can run, so a resource guarded by
+// the predicate can be claimed race-free right after return.
+func (t *Thread) WaitUntil(pred func() bool) {
+	if pred() {
+		return
+	}
+	t.pred = pred
+	t.state = stateBlocked
+	t.yield()
+}
+
+// SleepUntil blocks the thread until the kernel clock reaches cycle at.
+func (t *Thread) SleepUntil(at uint64) {
+	if t.now >= at {
+		return
+	}
+	// Anchor the wakeup with an empty event so the kernel clock is
+	// guaranteed to reach it even if nothing else is scheduled.
+	t.k.Schedule(at, func() {})
+	t.WaitUntil(func() bool { return t.k.now >= at })
+}
+
+func (t *Thread) yield() {
+	t.k.parked <- t
+	<-t.resume
+}

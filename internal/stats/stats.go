@@ -1,0 +1,217 @@
+// Package stats is a lightweight counter registry shared by every simulator
+// component. Counters are plain int64s keyed by name; higher layers derive
+// throughput, traffic and latency metrics from them after a run.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Well-known counter names used across the simulator. Components add to
+// these; experiments read them.
+const (
+	// Persistent-memory traffic, counted in 64 B line writes when a WPQ
+	// entry actually drains to the PM device (dropped entries never count).
+	PMWrites = "pm.writes"
+	PMReads  = "pm.reads"
+	// DRAM device traffic.
+	DRAMWrites = "dram.writes"
+	DRAMReads  = "dram.reads"
+
+	// Persist operations by kind.
+	LPOsIssued   = "lpo.issued"
+	LPOsDropped  = "lpo.dropped"
+	DPOsIssued   = "dpo.issued"
+	DPOsDropped  = "dpo.dropped"
+	DPOsCoalesce = "dpo.coalesced"
+
+	// Region lifecycle.
+	RegionsBegun     = "region.begun"
+	RegionsCommitted = "region.committed"
+	RegionCycles     = "region.cycles" // summed core-visible latency
+	DepEdges         = "dep.edges"
+	DepStalls        = "stall.depslots"
+	CLStalls         = "stall.clptr"
+	WPQStalls        = "stall.wpq"
+	LHWPQStalls      = "stall.lhwpq"
+	LogOverflows     = "log.overflow"
+
+	// Cache behaviour.
+	L1Hits         = "l1.hits"
+	L1Misses       = "l1.misses"
+	L2Hits         = "l2.hits"
+	L2Misses       = "l2.misses"
+	L3Hits         = "l3.hits"
+	L3Misses       = "l3.misses"
+	Evictions      = "cache.evictions"
+	OwnerIDSpills  = "ownerid.spills"
+	OwnerIDReloads = "ownerid.reloads"
+	BloomHits      = "bloom.hits"
+	BloomClears    = "bloom.clears"
+
+	// Workload progress.
+	Ops    = "workload.ops"
+	Fences = "workload.fences"
+	// FenceCycles accumulates the time threads spend blocked inside
+	// asap_fence waiting for commits.
+	FenceCycles = "workload.fencecycles"
+)
+
+// Set is a named-counter collection. The zero value is not usable; create
+// one with New. Set is not safe for concurrent use, which is fine: the
+// simulation kernel runs one thread at a time.
+type Set struct {
+	counters map[string]int64
+	hists    map[string]*Histogram
+}
+
+// New returns an empty counter set.
+func New() *Set {
+	return &Set{counters: make(map[string]int64)}
+}
+
+// Add increments counter name by delta.
+func (s *Set) Add(name string, delta int64) {
+	s.counters[name] += delta
+}
+
+// Inc increments counter name by one.
+func (s *Set) Inc(name string) { s.Add(name, 1) }
+
+// Get returns the value of counter name (zero if never touched).
+func (s *Set) Get(name string) int64 { return s.counters[name] }
+
+// Names returns every touched counter name in sorted order.
+func (s *Set) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for name := range s.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of the counters map.
+func (s *Set) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset zeroes every counter.
+func (s *Set) Reset() {
+	s.counters = make(map[string]int64)
+}
+
+// String formats the set one counter per line, sorted by name.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, name := range s.Names() {
+		fmt.Fprintf(&b, "%-24s %12d\n", name, s.counters[name])
+	}
+	return b.String()
+}
+
+// Histogram collects a distribution in log-linear (HDR-style) buckets:
+// eight sub-buckets per octave give ~12 % resolution at every magnitude,
+// cheap enough to run always-on and precise enough for tail-latency
+// percentiles.
+type Histogram struct {
+	buckets map[int]int64
+	count   int64
+}
+
+// histSub is the number of sub-buckets per power-of-two octave.
+const histSub = 8
+
+// histIndex maps a value to its log-linear bucket.
+func histIndex(v uint64) int {
+	if v < histSub {
+		return int(v) // exact below one octave of sub-buckets
+	}
+	octave := 63 - leadingZeros64(v)
+	sub := int(v>>(uint(octave)-3)) & (histSub - 1)
+	return octave*histSub + sub
+}
+
+// histUpper returns the inclusive upper bound of bucket idx.
+func histUpper(idx int) uint64 {
+	if idx < histSub {
+		return uint64(idx)
+	}
+	octave := idx / histSub
+	sub := idx % histSub
+	return (uint64(histSub+sub+1) << (uint(octave) - 3)) - 1
+}
+
+func leadingZeros64(v uint64) int {
+	n := 0
+	for v&(1<<63) == 0 {
+		v <<= 1
+		n++
+	}
+	return n
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h.buckets == nil {
+		h.buckets = make(map[int]int64)
+	}
+	h.buckets[histIndex(v)]++
+	h.count++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1): the top
+// of the log-linear bucket containing it (within ~12 % of the true value).
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target < 1 {
+		target = 1
+	}
+	idxs := make([]int, 0, len(h.buckets))
+	for idx := range h.buckets {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	var seen int64
+	for _, idx := range idxs {
+		seen += h.buckets[idx]
+		if seen >= target {
+			return histUpper(idx)
+		}
+	}
+	return histUpper(idxs[len(idxs)-1])
+}
+
+// Hist returns the named histogram, creating it on first use.
+func (s *Set) Hist(name string) *Histogram {
+	if s.hists == nil {
+		s.hists = make(map[string]*Histogram)
+	}
+	h, ok := s.hists[name]
+	if !ok {
+		h = &Histogram{}
+		s.hists[name] = h
+	}
+	return h
+}
+
+// RegionLatency is the histogram of core-visible atomic-region latencies,
+// the distribution behind the paper's tail-latency motivation (§1).
+const RegionLatency = "region.latency"
+
+// CommitLag is the histogram of asap_end-to-commit distances: the
+// asynchrony window that ASAP overlaps with execution. Synchronous
+// schemes have a zero lag by construction.
+const CommitLag = "region.commitlag"

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"asap/internal/arch"
+)
+
+func TestRingRetainsMostRecent(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 10; i++ {
+		b.Emit(Event{At: uint64(i), Kind: LPOIssue})
+	}
+	evs := b.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.At != uint64(6+i) {
+			t.Fatalf("event %d at %d, want %d (oldest-first)", i, e.At, 6+i)
+		}
+	}
+	if b.Total() != 10 {
+		t.Fatalf("total = %d", b.Total())
+	}
+}
+
+func TestFilterAndOfRegion(t *testing.T) {
+	b := NewBuffer(16)
+	r1 := arch.MakeRID(0, 1)
+	r2 := arch.MakeRID(0, 2)
+	b.Emit(Event{At: 1, Kind: RegionBegin, RID: r1})
+	b.Emit(Event{At: 2, Kind: LPOIssue, RID: r1, Line: 64})
+	b.Emit(Event{At: 3, Kind: RegionBegin, RID: r2})
+	b.Emit(Event{At: 4, Kind: DepAdd, RID: r2, Aux: uint64(r1)})
+	if got := b.Filter(RegionBegin); len(got) != 2 {
+		t.Fatalf("Filter(RegionBegin) = %d events", len(got))
+	}
+	// OfRegion matches both direct RID and Aux references.
+	if got := b.OfRegion(r1); len(got) != 3 {
+		t.Fatalf("OfRegion(r1) = %d events, want 3", len(got))
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := RegionBegin; k <= LogOverflow; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Fatal("unknown kind should fall back")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: 42, Kind: LPOAccept, RID: arch.MakeRID(1, 3), Line: 128, Aux: 7}
+	s := e.String()
+	for _, want := range []string{"42", "lpo.accept", "T1.R3", "0x80", "0x7"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestZeroCapacityDefaults(t *testing.T) {
+	b := NewBuffer(0)
+	b.Emit(Event{At: 1})
+	if len(b.Events()) != 1 {
+		t.Fatal("default-capacity buffer unusable")
+	}
+}

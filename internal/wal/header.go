@@ -1,0 +1,70 @@
+package wal
+
+import (
+	"encoding/binary"
+
+	"asap/internal/arch"
+)
+
+// Header line layout (one 64 B cache line, Figure 5a):
+//
+//	bytes 0..7   RID (little endian)
+//	byte  8      magic (0xA5) — lets recovery skip never-written lines
+//	byte  9      entry count (1..7)
+//	bytes 10..15 reserved
+//	bytes 16+6i  data line address >> LineShift, 6 bytes little endian,
+//	             for i in [0, count)
+//
+// The record's data-entry lines are contiguous after the header
+// (EntryLine), so log entry addresses need not be stored.
+const headerMagic = 0xA5
+
+// EncodeHeader serializes a header line for region rid covering the given
+// data lines (at most RecordEntries).
+func EncodeHeader(rid arch.RID, dataLines []arch.LineAddr) []byte {
+	if len(dataLines) > RecordEntries {
+		panic("wal: too many entries for one record")
+	}
+	buf := make([]byte, arch.LineSize)
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(rid))
+	buf[8] = headerMagic
+	buf[9] = byte(len(dataLines))
+	for i, dl := range dataLines {
+		putUint48(buf[16+6*i:], uint64(dl)>>arch.LineShift)
+	}
+	return buf
+}
+
+// DecodeHeader parses a persisted header line. ok is false if the line is
+// not a valid header.
+func DecodeHeader(line []byte) (rid arch.RID, dataLines []arch.LineAddr, ok bool) {
+	if len(line) < arch.LineSize || line[8] != headerMagic {
+		return 0, nil, false
+	}
+	count := int(line[9])
+	if count < 1 || count > RecordEntries {
+		return 0, nil, false
+	}
+	rid = arch.RID(binary.LittleEndian.Uint64(line[0:8]))
+	if rid == arch.NoRID {
+		return 0, nil, false
+	}
+	for i := 0; i < count; i++ {
+		dataLines = append(dataLines, arch.LineAddr(getUint48(line[16+6*i:])<<arch.LineShift))
+	}
+	return rid, dataLines, true
+}
+
+func putUint48(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+}
+
+func getUint48(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 |
+		uint64(b[3])<<24 | uint64(b[4])<<32 | uint64(b[5])<<40
+}

@@ -1,0 +1,112 @@
+// Package wal implements the log organization of §5.5 and Figure 5: a
+// distributed (per-thread) circular log buffer in persistent memory whose
+// space is carved into records of one LogHeader line plus seven contiguous
+// 64 B data-entry lines, and the binary header encoding crash recovery
+// decodes out of the persisted image.
+package wal
+
+import (
+	"asap/internal/arch"
+	"asap/internal/heap"
+)
+
+// RecordLines is the size of one log record in lines: the header plus
+// seven data entries (Figure 5a).
+const RecordLines = 1 + RecordEntries
+
+// RecordEntries is the number of data entries per record.
+const RecordEntries = 7
+
+// RecordBytes is the byte size of one record.
+const RecordBytes = RecordLines * arch.LineSize
+
+// ThreadLog is one thread's circular log buffer (Thread State Registers
+// LogAddress/LogSize/LogHead/LogTail, §4.4). Records are allocated
+// contiguously; if the tail would wrap mid-record the remainder of the
+// buffer is skipped so a record never straddles the wrap point.
+type ThreadLog struct {
+	h *heap.Heap
+
+	base uint64 // LogAddress
+	size uint64 // LogSize (bytes)
+	head uint64 // LogHead: absolute offset of oldest live byte
+	tail uint64 // LogTail: absolute offset one past newest allocation
+
+	overflows int
+}
+
+// NewThreadLog allocates a log buffer of size bytes in persistent memory
+// (asap_init). size is rounded up to whole records.
+func NewThreadLog(h *heap.Heap, size uint64) *ThreadLog {
+	if size < RecordBytes {
+		size = RecordBytes
+	}
+	size = (size + RecordBytes - 1) / RecordBytes * RecordBytes
+	return &ThreadLog{h: h, base: h.Alloc(size, true), size: size}
+}
+
+// Base returns the buffer's base address (LogAddress).
+func (l *ThreadLog) Base() uint64 { return l.base }
+
+// Size returns the buffer size in bytes (LogSize).
+func (l *ThreadLog) Size() uint64 { return l.size }
+
+// Head returns the LogHead offset (absolute, monotonically increasing).
+func (l *ThreadLog) Head() uint64 { return l.head }
+
+// Tail returns the LogTail offset (absolute, monotonically increasing).
+func (l *ThreadLog) Tail() uint64 { return l.tail }
+
+// Overflows returns how many times the buffer overflowed and was grown.
+func (l *ThreadLog) Overflows() int { return l.overflows }
+
+// live returns the number of live bytes.
+func (l *ThreadLog) live() uint64 { return l.tail - l.head }
+
+// AllocRecord reserves one record and returns the header line address and
+// the absolute tail offset after the record; ok is false when the buffer
+// is full, in which case the caller raises the log-overflow exception and
+// calls Grow.
+func (l *ThreadLog) AllocRecord() (header arch.LineAddr, end uint64, ok bool) {
+	// Skip the wrap remainder if the record would straddle it.
+	if rem := l.size - l.tail%l.size; rem < RecordBytes {
+		if l.live()+rem > l.size {
+			return 0, 0, false
+		}
+		l.tail += rem
+	}
+	if l.live()+RecordBytes > l.size {
+		return 0, 0, false
+	}
+	addr := l.base + l.tail%l.size
+	l.tail += RecordBytes
+	return arch.LineAddr(addr), l.tail, true
+}
+
+// EntryLine returns the i-th data-entry line of the record at header.
+func EntryLine(header arch.LineAddr, i int) arch.LineAddr {
+	return header + arch.LineAddr((i+1)*arch.LineSize)
+}
+
+// FreeUpTo releases every record allocated before the absolute offset end
+// (the committed region's last record end): the §5.5 "Freeing the Log on
+// Commit" LogHead update. Frees are idempotent and monotone.
+func (l *ThreadLog) FreeUpTo(end uint64) {
+	if end > l.head {
+		l.head = end
+	}
+	if l.head > l.tail {
+		l.head = l.tail
+	}
+}
+
+// Grow handles the log-overflow exception (§4.4): a fresh buffer of twice
+// the size is allocated and the head/tail reset. Records already allocated
+// in the old buffer keep their addresses; the old buffer is left in place
+// (its live records may still be needed for recovery).
+func (l *ThreadLog) Grow() {
+	l.overflows++
+	l.size *= 2
+	l.base = l.h.Alloc(l.size, true)
+	l.head, l.tail = 0, 0
+}

@@ -1,0 +1,163 @@
+package wal
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"asap/internal/arch"
+	"asap/internal/heap"
+)
+
+func TestAllocRecordContiguity(t *testing.T) {
+	h := heap.New()
+	l := NewThreadLog(h, 4*RecordBytes)
+	hdr, end, ok := l.AllocRecord()
+	if !ok {
+		t.Fatal("alloc failed on empty log")
+	}
+	if uint64(hdr) != l.Base() {
+		t.Fatalf("first header at %#x, want base %#x", hdr, l.Base())
+	}
+	if end != RecordBytes {
+		t.Fatalf("end = %d, want %d", end, RecordBytes)
+	}
+	for i := 0; i < RecordEntries; i++ {
+		want := arch.LineAddr(uint64(hdr) + uint64((i+1)*arch.LineSize))
+		if got := EntryLine(hdr, i); got != want {
+			t.Fatalf("EntryLine(%d) = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestAllocUntilFullThenFree(t *testing.T) {
+	h := heap.New()
+	l := NewThreadLog(h, 2*RecordBytes)
+	var ends []uint64
+	for i := 0; i < 2; i++ {
+		_, end, ok := l.AllocRecord()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		ends = append(ends, end)
+	}
+	if _, _, ok := l.AllocRecord(); ok {
+		t.Fatal("alloc must fail when full")
+	}
+	l.FreeUpTo(ends[0])
+	if _, _, ok := l.AllocRecord(); !ok {
+		t.Fatal("alloc must succeed after freeing one record")
+	}
+}
+
+func TestCircularReuseSameAddresses(t *testing.T) {
+	h := heap.New()
+	l := NewThreadLog(h, 2*RecordBytes)
+	h1, e1, _ := l.AllocRecord()
+	_, e2, _ := l.AllocRecord()
+	l.FreeUpTo(e1)
+	l.FreeUpTo(e2)
+	h3, _, ok := l.AllocRecord()
+	if !ok || h3 != h1 {
+		t.Fatalf("wrapped alloc = %#x, want reuse of %#x", h3, h1)
+	}
+}
+
+func TestGrowAfterOverflow(t *testing.T) {
+	h := heap.New()
+	l := NewThreadLog(h, RecordBytes)
+	l.AllocRecord()
+	if _, _, ok := l.AllocRecord(); ok {
+		t.Fatal("expected overflow")
+	}
+	oldBase := l.Base()
+	l.Grow()
+	if l.Size() != 2*RecordBytes {
+		t.Fatalf("grown size = %d", l.Size())
+	}
+	if l.Base() == oldBase {
+		t.Fatal("grow must allocate a fresh buffer")
+	}
+	if l.Overflows() != 1 {
+		t.Fatalf("overflows = %d", l.Overflows())
+	}
+	if _, _, ok := l.AllocRecord(); !ok {
+		t.Fatal("alloc must work after grow")
+	}
+}
+
+func TestFreeIdempotentAndMonotone(t *testing.T) {
+	h := heap.New()
+	l := NewThreadLog(h, 4*RecordBytes)
+	_, e1, _ := l.AllocRecord()
+	_, e2, _ := l.AllocRecord()
+	l.FreeUpTo(e2)
+	l.FreeUpTo(e1) // going backwards must be a no-op
+	if l.Head() != e2 {
+		t.Fatalf("head = %d, want %d", l.Head(), e2)
+	}
+	l.FreeUpTo(e2 + 100*RecordBytes) // cannot free past tail
+	if l.Head() != l.Tail() {
+		t.Fatal("head clamped to tail")
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	f := func(tid uint8, local uint32, rawLines []uint32) bool {
+		if local == 0 {
+			local = 1
+		}
+		if len(rawLines) > RecordEntries {
+			rawLines = rawLines[:RecordEntries]
+		}
+		if len(rawLines) == 0 {
+			rawLines = []uint32{1}
+		}
+		rid := arch.MakeRID(int(tid), uint64(local))
+		var lines []arch.LineAddr
+		for _, r := range rawLines {
+			lines = append(lines, arch.LineAddr(uint64(r)*arch.LineSize))
+		}
+		buf := EncodeHeader(rid, lines)
+		gotRID, gotLines, ok := DecodeHeader(buf)
+		return ok && gotRID == rid && reflect.DeepEqual(gotLines, lines)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, _, ok := DecodeHeader(make([]byte, arch.LineSize)); ok {
+		t.Fatal("zero line decoded as header")
+	}
+	bad := EncodeHeader(arch.MakeRID(0, 1), []arch.LineAddr{64})
+	bad[9] = 200 // invalid count
+	if _, _, ok := DecodeHeader(bad); ok {
+		t.Fatal("invalid count accepted")
+	}
+	short := []byte{1, 2, 3}
+	if _, _, ok := DecodeHeader(short); ok {
+		t.Fatal("short line accepted")
+	}
+}
+
+func TestEncodeTooManyEntriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	lines := make([]arch.LineAddr, RecordEntries+1)
+	EncodeHeader(arch.MakeRID(0, 1), lines)
+}
+
+func TestHighAddressSurvives48BitPacking(t *testing.T) {
+	rid := arch.MakeRID(7, 9)
+	line := arch.LineAddr(uint64(1)<<45 + 64)
+	buf := EncodeHeader(rid, []arch.LineAddr{line})
+	_, lines, ok := DecodeHeader(buf)
+	if !ok || lines[0] != line {
+		t.Fatalf("got %#x, want %#x", lines[0], line)
+	}
+}

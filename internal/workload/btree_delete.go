@@ -1,0 +1,253 @@
+package workload
+
+// B-tree deletion (CLRS, minimum degree t=4): keys are removed with the
+// one-pass descent that pre-balances every visited child to at least t
+// keys, so no backtracking is needed. Merged nodes and removed values are
+// released with the crash-safe deferred free.
+
+// lookup returns the value pointer for key, or 0.
+func (b *BTree) lookup(c *Ctx, key uint64) uint64 {
+	x := c.LoadU64(b.rootCell)
+	for {
+		n := b.count(c, x)
+		i := 0
+		for i < n && key > b.key(c, x, i) {
+			i++
+		}
+		if i < n && b.key(c, x, i) == key {
+			return b.val(c, x, i)
+		}
+		if b.isLeaf(c, x) {
+			return 0
+		}
+		x = b.kid(c, x, i)
+	}
+}
+
+// delete removes key, returning whether it was present.
+func (b *BTree) delete(c *Ctx, key uint64) bool {
+	root := c.LoadU64(b.rootCell)
+	if b.lookup(c, key) == 0 {
+		// The value pointer of a present key is never 0 (values are real
+		// allocations), so 0 means absent.
+		return false
+	}
+	b.deleteFrom(c, root, key)
+	// Shrink the root if it emptied into its single child.
+	root = c.LoadU64(b.rootCell)
+	if b.count(c, root) == 0 && !b.isLeaf(c, root) {
+		c.StoreU64(b.rootCell, b.kid(c, root, 0))
+		c.Free(root)
+	}
+	c.StoreU64(b.cntCell, c.LoadU64(b.cntCell)-1)
+	return true
+}
+
+// deleteFrom removes key from the subtree rooted at x; x has at least t
+// keys whenever it is not the root (guaranteed by pre-balancing).
+func (b *BTree) deleteFrom(c *Ctx, x uint64, key uint64) {
+	t := btDegree
+	for {
+		n := b.count(c, x)
+		i := 0
+		for i < n && key > b.key(c, x, i) {
+			i++
+		}
+		if i < n && b.key(c, x, i) == key {
+			if b.isLeaf(c, x) {
+				// Case 1: remove from leaf.
+				c.Free(b.val(c, x, i))
+				for j := i; j < n-1; j++ {
+					b.setKey(c, x, j, b.key(c, x, j+1))
+					b.setVal(c, x, j, b.val(c, x, j+1))
+				}
+				b.setCount(c, x, n-1)
+				return
+			}
+			y := b.kid(c, x, i)
+			z := b.kid(c, x, i+1)
+			switch {
+			case b.count(c, y) >= t:
+				// Case 2a: replace with predecessor and recurse.
+				pk, pv := b.maxKey(c, y)
+				c.Free(b.val(c, x, i))
+				b.setKey(c, x, i, pk)
+				b.setVal(c, x, i, pv)
+				b.stealDelete(c, y, pk)
+				return
+			case b.count(c, z) >= t:
+				// Case 2b: replace with successor and recurse.
+				sk, sv := b.minKey(c, z)
+				c.Free(b.val(c, x, i))
+				b.setKey(c, x, i, sk)
+				b.setVal(c, x, i, sv)
+				b.stealDelete(c, z, sk)
+				return
+			default:
+				// Case 2c: merge y, key, z and recurse into the merge.
+				b.mergeChildren(c, x, i)
+				x = y
+				continue
+			}
+		}
+		if b.isLeaf(c, x) {
+			return // not present (callers pre-check, but stay safe)
+		}
+		// Case 3: descend, pre-balancing the child to >= t keys.
+		child := b.kid(c, x, i)
+		if b.count(c, child) == t-1 {
+			child = b.fillChild(c, x, i)
+		}
+		x = child
+	}
+}
+
+// stealDelete removes key from subtree x where the key's value pointer
+// has been moved out (its storage now belongs to the parent): deleteFrom
+// would double-free it, so the leaf-removal path skips the value free.
+func (b *BTree) stealDelete(c *Ctx, x uint64, key uint64) {
+	// The moved key is the predecessor/successor: it sits in a leaf, and
+	// deleteFrom's pre-balancing guarantees reachability. Mark its value
+	// as borrowed by overwriting with 0 before deletion.
+	node, idx := b.findIn(c, x, key)
+	if node != 0 {
+		b.setVal(c, node, idx, 0)
+	}
+	b.deleteFrom(c, x, key)
+}
+
+// findIn locates key in subtree x, returning its node and index.
+func (b *BTree) findIn(c *Ctx, x uint64, key uint64) (uint64, int) {
+	for {
+		n := b.count(c, x)
+		i := 0
+		for i < n && key > b.key(c, x, i) {
+			i++
+		}
+		if i < n && b.key(c, x, i) == key {
+			return x, i
+		}
+		if b.isLeaf(c, x) {
+			return 0, 0
+		}
+		x = b.kid(c, x, i)
+	}
+}
+
+// maxKey returns the rightmost key/value under x.
+func (b *BTree) maxKey(c *Ctx, x uint64) (uint64, uint64) {
+	for !b.isLeaf(c, x) {
+		x = b.kid(c, x, b.count(c, x))
+	}
+	n := b.count(c, x)
+	return b.key(c, x, n-1), b.val(c, x, n-1)
+}
+
+// minKey returns the leftmost key/value under x.
+func (b *BTree) minKey(c *Ctx, x uint64) (uint64, uint64) {
+	for !b.isLeaf(c, x) {
+		x = b.kid(c, x, 0)
+	}
+	return b.key(c, x, 0), b.val(c, x, 0)
+}
+
+// mergeChildren merges child i, key i and child i+1 of x into child i,
+// freeing child i+1 (CLRS case 2c / 3b).
+func (b *BTree) mergeChildren(c *Ctx, x uint64, i int) {
+	t := btDegree
+	y := b.kid(c, x, i)
+	z := b.kid(c, x, i+1)
+	yn := b.count(c, y)
+
+	b.setKey(c, y, yn, b.key(c, x, i))
+	b.setVal(c, y, yn, b.val(c, x, i))
+	zn := b.count(c, z)
+	for j := 0; j < zn; j++ {
+		b.setKey(c, y, yn+1+j, b.key(c, z, j))
+		b.setVal(c, y, yn+1+j, b.val(c, z, j))
+	}
+	if !b.isLeaf(c, y) {
+		for j := 0; j <= zn; j++ {
+			b.setKid(c, y, yn+1+j, b.kid(c, z, j))
+		}
+	}
+	b.setCount(c, y, yn+1+zn)
+	_ = t
+
+	n := b.count(c, x)
+	for j := i; j < n-1; j++ {
+		b.setKey(c, x, j, b.key(c, x, j+1))
+		b.setVal(c, x, j, b.val(c, x, j+1))
+	}
+	for j := i + 1; j < n; j++ {
+		b.setKid(c, x, j, b.kid(c, x, j+1))
+	}
+	b.setCount(c, x, n-1)
+	c.Free(z)
+}
+
+// fillChild brings child i of x to at least t keys by borrowing from a
+// sibling or merging (CLRS case 3a/3b); returns the node to descend into.
+func (b *BTree) fillChild(c *Ctx, x uint64, i int) uint64 {
+	t := btDegree
+	child := b.kid(c, x, i)
+	n := b.count(c, x)
+
+	// Borrow from the left sibling.
+	if i > 0 {
+		left := b.kid(c, x, i-1)
+		if ln := b.count(c, left); ln >= t {
+			cn := b.count(c, child)
+			for j := cn; j > 0; j-- {
+				b.setKey(c, child, j, b.key(c, child, j-1))
+				b.setVal(c, child, j, b.val(c, child, j-1))
+			}
+			if !b.isLeaf(c, child) {
+				for j := cn + 1; j > 0; j-- {
+					b.setKid(c, child, j, b.kid(c, child, j-1))
+				}
+				b.setKid(c, child, 0, b.kid(c, left, ln))
+			}
+			b.setKey(c, child, 0, b.key(c, x, i-1))
+			b.setVal(c, child, 0, b.val(c, x, i-1))
+			b.setKey(c, x, i-1, b.key(c, left, ln-1))
+			b.setVal(c, x, i-1, b.val(c, left, ln-1))
+			b.setCount(c, left, ln-1)
+			b.setCount(c, child, cn+1)
+			return child
+		}
+	}
+	// Borrow from the right sibling.
+	if i < n {
+		right := b.kid(c, x, i+1)
+		if rn := b.count(c, right); rn >= t {
+			cn := b.count(c, child)
+			b.setKey(c, child, cn, b.key(c, x, i))
+			b.setVal(c, child, cn, b.val(c, x, i))
+			if !b.isLeaf(c, child) {
+				b.setKid(c, child, cn+1, b.kid(c, right, 0))
+			}
+			b.setKey(c, x, i, b.key(c, right, 0))
+			b.setVal(c, x, i, b.val(c, right, 0))
+			for j := 0; j < rn-1; j++ {
+				b.setKey(c, right, j, b.key(c, right, j+1))
+				b.setVal(c, right, j, b.val(c, right, j+1))
+			}
+			if !b.isLeaf(c, right) {
+				for j := 0; j < rn; j++ {
+					b.setKid(c, right, j, b.kid(c, right, j+1))
+				}
+			}
+			b.setCount(c, right, rn-1)
+			b.setCount(c, child, cn+1)
+			return child
+		}
+	}
+	// Merge with a sibling.
+	if i < n {
+		b.mergeChildren(c, x, i)
+		return child
+	}
+	b.mergeChildren(c, x, i-1)
+	return b.kid(c, x, i-1)
+}

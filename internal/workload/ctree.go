@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+
+	"asap/internal/sim"
+)
+
+// CTree (CT) inserts and updates entries in a crit-bit tree (a PATRICIA
+// trie over 64-bit keys), following the c-tree workload of the WHISPER
+// suite. Pointers are tagged: the low bit distinguishes leaves from
+// internal nodes (all allocations are line-aligned, so low bits are free).
+//
+//	internal: bit(8) | left(8) | right(8)
+//	leaf:     key(8) | valptr(8)
+type CTree struct {
+	mu       sim.Mutex
+	rootCell uint64
+	cntCell  uint64
+	vbytes   int
+	keyspace uint64
+	delEvery int
+	readPct  int
+}
+
+// NewCTree returns an empty CT benchmark.
+func NewCTree() *CTree { return &CTree{} }
+
+// Name implements Benchmark.
+func (ct *CTree) Name() string { return "CT" }
+
+const ctLeafTag = 1
+
+func ctIsLeaf(p uint64) bool { return p&ctLeafTag != 0 }
+func ctAddr(p uint64) uint64 { return p &^ ctLeafTag }
+
+func (ct *CTree) newLeaf(c *Ctx, key, tag uint64) uint64 {
+	l := c.Alloc(16)
+	v := c.Alloc(ct.vbytes)
+	c.FillValue(v, ct.vbytes, tag)
+	c.StoreU64(l, key)
+	c.StoreU64(l+8, v)
+	return l | ctLeafTag
+}
+
+// Setup implements Benchmark.
+func (ct *CTree) Setup(c *Ctx, cfg Config) {
+	ct.vbytes = cfg.ValueBytes
+	ct.delEvery = cfg.DeleteEvery
+	ct.readPct = cfg.ReadPct
+	ct.keyspace = uint64(cfg.InitialItems) * 2
+	ct.rootCell = c.Alloc(8)
+	ct.cntCell = c.Alloc(8)
+	for i := 0; i < cfg.InitialItems; i++ {
+		ct.insert(c, c.Rng.Uint64()%ct.keyspace, uint64(i))
+	}
+}
+
+// dirOf returns which side key falls on for a node testing bit.
+func dirOf(key uint64, bit uint) int {
+	if key&(1<<bit) != 0 {
+		return 1
+	}
+	return 0
+}
+
+// insert adds or updates key.
+func (ct *CTree) insert(c *Ctx, key, tag uint64) {
+	root := c.LoadU64(ct.rootCell)
+	if root == 0 {
+		c.StoreU64(ct.rootCell, ct.newLeaf(c, key, tag))
+		c.StoreU64(ct.cntCell, c.LoadU64(ct.cntCell)+1)
+		return
+	}
+	// Walk to the closest leaf.
+	p := root
+	for !ctIsLeaf(p) {
+		bit := uint(c.LoadU64(ctAddr(p)))
+		p = c.LoadU64(ctAddr(p) + 8 + 8*uint64(dirOf(key, bit)))
+	}
+	leafKey := c.LoadU64(ctAddr(p))
+	if leafKey == key {
+		c.FillValue(c.LoadU64(ctAddr(p)+8), ct.vbytes, tag)
+		return
+	}
+	// First differing bit decides where the new internal node goes.
+	critBit := uint(63 - bits.LeadingZeros64(leafKey^key))
+
+	n := c.Alloc(24)
+	c.StoreU64(n, uint64(critBit))
+	newLeaf := ct.newLeaf(c, key, tag)
+
+	// Descend again, stopping where the crit bit outranks the node bit.
+	cellAddr := ct.rootCell
+	p = c.LoadU64(cellAddr)
+	for !ctIsLeaf(p) {
+		bit := uint(c.LoadU64(ctAddr(p)))
+		if bit < critBit {
+			break
+		}
+		cellAddr = ctAddr(p) + 8 + 8*uint64(dirOf(key, bit))
+		p = c.LoadU64(cellAddr)
+	}
+	c.StoreU64(n+8+8*uint64(dirOf(key, critBit)), newLeaf)
+	c.StoreU64(n+8+8*uint64(1-dirOf(key, critBit)), p)
+	c.StoreU64(cellAddr, n)
+	c.StoreU64(ct.cntCell, c.LoadU64(ct.cntCell)+1)
+}
+
+// lookup returns the value pointer for key, or 0.
+func (ct *CTree) lookup(c *Ctx, key uint64) uint64 {
+	p := c.LoadU64(ct.rootCell)
+	if p == 0 {
+		return 0
+	}
+	for !ctIsLeaf(p) {
+		bit := uint(c.LoadU64(ctAddr(p)))
+		p = c.LoadU64(ctAddr(p) + 8 + 8*uint64(dirOf(key, bit)))
+	}
+	if c.LoadU64(ctAddr(p)) == key {
+		return c.LoadU64(ctAddr(p) + 8)
+	}
+	return 0
+}
+
+// Op implements Benchmark: insert/update, lookup with ReadPct, deletion
+// every DeleteEvery-th operation.
+func (ct *CTree) Op(c *Ctx, i int) {
+	key := c.Key(ct.keyspace)
+	ct.mu.Lock(c.T)
+	c.Begin()
+	switch {
+	case ct.readPct > 0 && c.Rng.Intn(100) < ct.readPct:
+		ct.lookup(c, key)
+	case ct.delEvery > 0 && (i+1)%ct.delEvery == 0:
+		ct.delete(c, key)
+	default:
+		ct.insert(c, key, uint64(i))
+	}
+	c.End()
+	ct.mu.Unlock(c.T)
+}
+
+// Check implements Benchmark: leaf count matches the counter, keys are
+// unique, and every node's bit outranks its children's bits.
+func (ct *CTree) Check(c *Ctx) string {
+	count := 0
+	seen := map[uint64]bool{}
+	var walk func(p uint64, parentBit int) string
+	walk = func(p uint64, parentBit int) string {
+		if p == 0 {
+			return ""
+		}
+		if ctIsLeaf(p) {
+			key := c.LoadU64(ctAddr(p))
+			if seen[key] {
+				return fmt.Sprintf("CT: duplicate key %d", key)
+			}
+			seen[key] = true
+			count++
+			return ""
+		}
+		bit := int(c.LoadU64(ctAddr(p)))
+		if parentBit >= 0 && bit >= parentBit {
+			return fmt.Sprintf("CT: child bit %d >= parent bit %d", bit, parentBit)
+		}
+		if msg := walk(c.LoadU64(ctAddr(p)+8), bit); msg != "" {
+			return msg
+		}
+		return walk(c.LoadU64(ctAddr(p)+16), bit)
+	}
+	if msg := walk(c.LoadU64(ct.rootCell), -1); msg != "" {
+		return msg
+	}
+	if got := c.LoadU64(ct.cntCell); got != uint64(count) {
+		return fmt.Sprintf("CT: count cell %d != leaves %d", got, count)
+	}
+	return ""
+}
+
+// delete removes key from the crit-bit tree, returning whether it was
+// present: the leaf and its parent internal node unlink, the sibling
+// taking the parent's place (the standard PATRICIA deletion).
+func (ct *CTree) delete(c *Ctx, key uint64) bool {
+	root := c.LoadU64(ct.rootCell)
+	if root == 0 {
+		return false
+	}
+	if ctIsLeaf(root) {
+		if c.LoadU64(ctAddr(root)) != key {
+			return false
+		}
+		c.StoreU64(ct.rootCell, 0)
+		c.StoreU64(ct.cntCell, c.LoadU64(ct.cntCell)-1)
+		c.Free(c.LoadU64(ctAddr(root) + 8))
+		c.Free(ctAddr(root))
+		return true
+	}
+	// Walk down tracking the pointer cell to the current internal node
+	// and the cell inside it that leads to the leaf.
+	parentCell := ct.rootCell // holds pointer to cur (internal)
+	cur := root
+	var leafCell uint64
+	for {
+		bit := uint(c.LoadU64(ctAddr(cur)))
+		leafCell = ctAddr(cur) + 8 + 8*uint64(dirOf(key, bit))
+		next := c.LoadU64(leafCell)
+		if ctIsLeaf(next) {
+			if c.LoadU64(ctAddr(next)) != key {
+				return false
+			}
+			// Sibling replaces the parent internal node.
+			sibCell := ctAddr(cur) + 8 + 8*uint64(1-dirOf(key, bit))
+			sibling := c.LoadU64(sibCell)
+			c.StoreU64(parentCell, sibling)
+			c.StoreU64(ct.cntCell, c.LoadU64(ct.cntCell)-1)
+			c.Free(c.LoadU64(ctAddr(next) + 8))
+			c.Free(ctAddr(next))
+			c.Free(ctAddr(cur))
+			return true
+		}
+		parentCell = leafCell
+		cur = next
+	}
+}

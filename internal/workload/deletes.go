@@ -1,0 +1,81 @@
+package workload
+
+// Deletion paths for the map- and tree-shaped benchmarks. The paper's
+// Table 3 workloads are insert/update mixes; deletions are provided as an
+// extension (enable with Config.DeleteEvery) and to let the oracle tests
+// exercise unlink paths. All deletions run inside the caller's atomic
+// region and release memory with the crash-safe deferred free.
+
+// delete removes key from the binary search tree, returning whether it
+// was present (standard BST deletion by successor splice).
+func (b *BinaryTree) delete(c *Ctx, key uint64) bool {
+	parentCell := b.rootCell // cell holding the pointer to cur
+	cur := c.LoadU64(b.rootCell)
+	for cur != 0 {
+		k := c.LoadU64(cur)
+		switch {
+		case key < k:
+			parentCell = cur + 8
+			cur = c.LoadU64(parentCell)
+		case key > k:
+			parentCell = cur + 16
+			cur = c.LoadU64(parentCell)
+		default:
+			b.unlink(c, parentCell, cur)
+			c.StoreU64(b.cntCell, c.LoadU64(b.cntCell)-1)
+			return true
+		}
+	}
+	return false
+}
+
+// unlink removes node cur whose incoming pointer lives at parentCell.
+func (b *BinaryTree) unlink(c *Ctx, parentCell, cur uint64) {
+	left := c.LoadU64(cur + 8)
+	right := c.LoadU64(cur + 16)
+	switch {
+	case left == 0:
+		c.StoreU64(parentCell, right)
+		c.Free(cur)
+	case right == 0:
+		c.StoreU64(parentCell, left)
+		c.Free(cur)
+	default:
+		// Two children: splice the in-order successor's key and value
+		// into cur, then unlink the successor.
+		succCell := cur + 16
+		succ := right
+		for {
+			l := c.LoadU64(succ + 8)
+			if l == 0 {
+				break
+			}
+			succCell = succ + 8
+			succ = l
+		}
+		c.StoreU64(cur, c.LoadU64(succ)) // move key
+		val := c.LoadBytes(succ+btNodeHdr, b.vbytes)
+		c.StoreBytes(cur+btNodeHdr, val)
+		c.StoreU64(succCell, c.LoadU64(succ+16))
+		c.Free(succ)
+	}
+}
+
+// delete removes key from the hash map, returning whether it was present.
+// Callers must hold the key's stripe lock.
+func (h *HashMap) delete(c *Ctx, key uint64) bool {
+	cell := h.buckets + 8*h.bucketOf(key)
+	cur := c.LoadU64(cell)
+	for cur != 0 {
+		if c.LoadU64(cur) == key {
+			c.StoreU64(cell, c.LoadU64(cur+8))
+			cnt := h.cntCells + 64*(h.bucketOf(key)%uint64(len(h.stripes)))
+			c.StoreU64(cnt, c.LoadU64(cnt)-1)
+			c.Free(cur)
+			return true
+		}
+		cell = cur + 8
+		cur = c.LoadU64(cell)
+	}
+	return false
+}

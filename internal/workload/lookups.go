@@ -1,0 +1,35 @@
+package workload
+
+// Read-only lookup paths for the keyed benchmarks, used by the ReadPct
+// operation mix (read-only atomic regions commit without any persist
+// operations) and by tests.
+
+// lookup returns the node holding key in the binary search tree, or 0.
+func (b *BinaryTree) lookupNode(c *Ctx, key uint64) uint64 {
+	cur := c.LoadU64(b.rootCell)
+	for cur != 0 {
+		k := c.LoadU64(cur)
+		switch {
+		case key == k:
+			return cur
+		case key < k:
+			cur = c.LoadU64(cur + 8)
+		default:
+			cur = c.LoadU64(cur + 16)
+		}
+	}
+	return 0
+}
+
+// get returns the node holding key in the hash map, or 0. Callers must
+// hold the key's stripe lock.
+func (h *HashMap) get(c *Ctx, key uint64) uint64 {
+	cur := c.LoadU64(h.buckets + 8*h.bucketOf(key))
+	for cur != 0 {
+		if c.LoadU64(cur) == key {
+			return cur
+		}
+		cur = c.LoadU64(cur + 8)
+	}
+	return 0
+}

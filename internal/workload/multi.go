@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"asap/internal/sim"
+	"asap/internal/stats"
+)
+
+// MultiResult summarizes a co-running execution: several benchmarks share
+// one machine, contending for the memory system — the scenario the paper
+// gives for why traffic reduction matters even though persists are
+// asynchronous ("throughput of multiple co-running memory-intensive
+// applications", §1).
+type MultiResult struct {
+	Scheme string
+	// Cycles is the wall-clock of the measured phase (all workloads).
+	Cycles uint64
+	// TotalOps across all co-running workloads.
+	TotalOps int64
+	// Stats holds measurement-phase counter deltas.
+	Stats map[string]int64
+	// CheckErrs holds any per-benchmark consistency failures.
+	CheckErrs []string
+}
+
+// Throughput returns combined operations per kilocycle.
+func (r MultiResult) Throughput() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.TotalOps) / float64(r.Cycles) * 1000
+}
+
+// RunMulti runs every benchmark in benches concurrently on one machine:
+// each gets its own worker threads, all sharing the caches, WPQs and PM
+// bandwidth.
+func RunMulti(env *Env, benches []Benchmark, cfg Config) MultiResult {
+	res := MultiResult{Scheme: env.S.Name()}
+	env.M.K.Spawn("driver", func(t *sim.Thread) {
+		env.S.InitThread(t)
+		ctx := NewCtx(env, t, cfg.Seed)
+		for _, b := range benches {
+			b.Setup(ctx, cfg)
+		}
+		env.S.DrainBarrier(t)
+
+		before := env.M.St.Snapshot()
+		start := t.Kernel().Now()
+		done := 0
+		total := 0
+		for bi, b := range benches {
+			for w := 0; w < cfg.Threads; w++ {
+				b, bi, w := b, bi, w
+				total++
+				env.M.K.Spawn("worker", func(wt *sim.Thread) {
+					env.S.InitThread(wt)
+					wctx := NewCtx(env, wt, cfg.Seed+int64(bi*1000+w)*7919+1)
+					for i := 0; i < cfg.OpsPerThread; i++ {
+						b.Op(wctx, i)
+						env.M.St.Inc(stats.Ops)
+					}
+					env.S.DrainBarrier(wt)
+					done++
+				})
+			}
+		}
+		t.WaitUntil(func() bool { return done == total })
+		env.S.DrainBarrier(t)
+
+		res.Cycles = t.Kernel().Now() - start
+		res.TotalOps = int64(total * cfg.OpsPerThread)
+		res.Stats = make(map[string]int64)
+		for k, v := range env.M.St.Snapshot() {
+			res.Stats[k] = v - before[k]
+		}
+		for _, b := range benches {
+			if msg := b.Check(ctx); msg != "" {
+				res.CheckErrs = append(res.CheckErrs, msg)
+			}
+		}
+	})
+	env.M.K.Run()
+	return res
+}

@@ -1,0 +1,159 @@
+package workload
+
+// Red-black deletion (CLRS RB-DELETE / RB-DELETE-FIXUP) for the RB
+// benchmark. The tree uses address 0 as nil, so the fixup tracks the
+// current node's parent explicitly where CLRS leans on a sentinel.
+
+// find returns the node holding key, or 0.
+func (r *RBTree) find(c *Ctx, key uint64) uint64 {
+	cur := c.LoadU64(r.rootCell)
+	for cur != 0 {
+		k := c.LoadU64(cur + rbOffKey)
+		switch {
+		case key == k:
+			return cur
+		case key < k:
+			cur = r.left(c, cur)
+		default:
+			cur = r.right(c, cur)
+		}
+	}
+	return 0
+}
+
+// minimum returns the leftmost node under n.
+func (r *RBTree) minimum(c *Ctx, n uint64) uint64 {
+	for {
+		l := r.left(c, n)
+		if l == 0 {
+			return n
+		}
+		n = l
+	}
+}
+
+// transplant replaces subtree u with subtree v (v may be 0).
+func (r *RBTree) transplant(c *Ctx, u, v uint64) {
+	p := r.parent(c, u)
+	switch {
+	case p == 0:
+		c.StoreU64(r.rootCell, v)
+	case r.left(c, p) == u:
+		r.setLeft(c, p, v)
+	default:
+		r.setRight(c, p, v)
+	}
+	if v != 0 {
+		r.setParent(c, v, p)
+	}
+}
+
+// delete removes key, returning whether it was present. The removed
+// node's memory is released with the crash-safe deferred free.
+func (r *RBTree) delete(c *Ctx, key uint64) bool {
+	z := r.find(c, key)
+	if z == 0 {
+		return false
+	}
+	y := z
+	yColor := r.color(c, y)
+	var x, xParent uint64
+
+	switch {
+	case r.left(c, z) == 0:
+		x = r.right(c, z)
+		xParent = r.parent(c, z)
+		r.transplant(c, z, x)
+	case r.right(c, z) == 0:
+		x = r.left(c, z)
+		xParent = r.parent(c, z)
+		r.transplant(c, z, x)
+	default:
+		y = r.minimum(c, r.right(c, z))
+		yColor = r.color(c, y)
+		x = r.right(c, y)
+		if r.parent(c, y) == z {
+			xParent = y
+		} else {
+			xParent = r.parent(c, y)
+			r.transplant(c, y, x)
+			r.setRight(c, y, r.right(c, z))
+			r.setParent(c, r.right(c, y), y)
+		}
+		r.transplant(c, z, y)
+		r.setLeft(c, y, r.left(c, z))
+		r.setParent(c, r.left(c, y), y)
+		r.setColor(c, y, r.color(c, z))
+	}
+
+	if yColor == rbBlack {
+		r.deleteFixup(c, x, xParent)
+	}
+	c.StoreU64(r.cntCell, c.LoadU64(r.cntCell)-1)
+	c.Free(z)
+	return true
+}
+
+// deleteFixup restores the red-black invariants after removing a black
+// node; x carries an extra black and may be 0 (its position is xParent).
+func (r *RBTree) deleteFixup(c *Ctx, x, xParent uint64) {
+	for x != c.LoadU64(r.rootCell) && r.color(c, x) == rbBlack {
+		if xParent == 0 {
+			break
+		}
+		if x == r.left(c, xParent) {
+			w := r.right(c, xParent)
+			if r.color(c, w) == rbRed {
+				r.setColor(c, w, rbBlack)
+				r.setColor(c, xParent, rbRed)
+				r.rotateLeft(c, xParent)
+				w = r.right(c, xParent)
+			}
+			if r.color(c, r.left(c, w)) == rbBlack && r.color(c, r.right(c, w)) == rbBlack {
+				r.setColor(c, w, rbRed)
+				x = xParent
+				xParent = r.parent(c, x)
+			} else {
+				if r.color(c, r.right(c, w)) == rbBlack {
+					r.setColor(c, r.left(c, w), rbBlack)
+					r.setColor(c, w, rbRed)
+					r.rotateRight(c, w)
+					w = r.right(c, xParent)
+				}
+				r.setColor(c, w, r.color(c, xParent))
+				r.setColor(c, xParent, rbBlack)
+				r.setColor(c, r.right(c, w), rbBlack)
+				r.rotateLeft(c, xParent)
+				x = c.LoadU64(r.rootCell)
+				xParent = 0
+			}
+		} else {
+			w := r.left(c, xParent)
+			if r.color(c, w) == rbRed {
+				r.setColor(c, w, rbBlack)
+				r.setColor(c, xParent, rbRed)
+				r.rotateRight(c, xParent)
+				w = r.left(c, xParent)
+			}
+			if r.color(c, r.right(c, w)) == rbBlack && r.color(c, r.left(c, w)) == rbBlack {
+				r.setColor(c, w, rbRed)
+				x = xParent
+				xParent = r.parent(c, x)
+			} else {
+				if r.color(c, r.left(c, w)) == rbBlack {
+					r.setColor(c, r.right(c, w), rbBlack)
+					r.setColor(c, w, rbRed)
+					r.rotateLeft(c, w)
+					w = r.left(c, xParent)
+				}
+				r.setColor(c, w, r.color(c, xParent))
+				r.setColor(c, xParent, rbBlack)
+				r.setColor(c, r.left(c, w), rbBlack)
+				r.rotateRight(c, xParent)
+				x = c.LoadU64(r.rootCell)
+				xParent = 0
+			}
+		}
+	}
+	r.setColor(c, x, rbBlack)
+}
