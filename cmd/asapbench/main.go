@@ -2,32 +2,81 @@
 //
 // Usage:
 //
-//	asapbench -experiment fig7           # one figure, quick scale
-//	asapbench -experiment all -full      # everything, paper scale
+//	asapbench -experiment fig7                    # one figure, quick scale
+//	asapbench -experiment all -full               # everything, paper scale
+//	asapbench -experiment all -parallel 8         # fan runs across 8 workers
+//	asapbench -experiment fig1 -json timings.json # machine-readable timings
 //
 // Experiments: fig1 fig7 fig8 fig9a fig9b fig10 lhwpq area config all.
+//
+// Every experiment fans its (variant × benchmark) matrix across a worker
+// pool and assembles results in submission order, so the emitted tables
+// are byte-identical at any -parallel width. Exit status is non-zero if
+// any requested experiment fails.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"asap/internal/area"
 	"asap/internal/experiment"
 	"asap/internal/machine"
 	"asap/internal/report"
+	"asap/internal/runner"
+	"asap/internal/stats"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// experimentTiming is one experiment's entry in the -json artifact.
+type experimentTiming struct {
+	Name   string `json:"name"`
+	WallNS int64  `json:"wall_ns"`
+	Error  string `json:"error,omitempty"`
+}
+
+// timingReport is the -json artifact: per-experiment and per-job wall
+// times plus the simulated metrics, for CI trend tracking and speedup
+// verification (TotalJobWallNS / WallNS ≈ achieved parallelism).
+type timingReport struct {
+	Parallel       int                `json:"parallel"`
+	GOMAXPROCS     int                `json:"gomaxprocs"`
+	Scale          string             `json:"scale"`
+	WallNS         int64              `json:"wall_ns"`
+	TotalJobWallNS int64              `json:"total_job_wall_ns"`
+	Experiments    []experimentTiming `json:"experiments"`
+	Jobs           []stats.JobMetrics `json:"jobs"`
+}
+
+func run() int {
 	which := flag.String("experiment", "all", "fig1|fig7|fig8|fig9a|fig9b|fig10|lhwpq|area|config|ablation-coalesce|ablation-structs|corun|design|fences|lifetime|numa|scaling|tail|all")
 	full := flag.Bool("full", false, "paper-scale runs (slower)")
 	chart := flag.Bool("chart", false, "render tables as ASCII bar charts")
+	parallel := flag.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	jsonPath := flag.String("json", "", "write per-experiment and per-job timings as JSON to this path")
+	progress := flag.Bool("progress", isTerminal(os.Stderr), "print a live progress line to stderr")
 	flag.Parse()
 
+	pool := runner.New(*parallel)
+	jobLog := &stats.JobLog{}
+	pool.SetMetrics(jobLog)
+	var prog *report.Progress
+	if *progress {
+		prog = report.NewProgress(os.Stderr)
+		pool.SetReporter(prog)
+	}
+	experiment.SetPool(pool)
+
 	scale := experiment.QuickScale()
+	scaleName := "quick"
 	if *full {
 		scale = experiment.FullScale()
+		scaleName = "full"
 	}
 	show := func(t *experiment.Table) {
 		if *chart {
@@ -69,20 +118,87 @@ func main() {
 		"scaling":  func() { show(experiment.Scaling(scale)) },
 	}
 
+	var names []string
 	if *which == "all" {
-		for _, name := range []string{"config", "area", "fig1", "fig7", "fig8", "fig9a", "fig9b", "fig10", "lhwpq",
-			"ablation-coalesce", "ablation-structs", "corun", "design", "fences", "lifetime", "numa", "tail", "scaling"} {
-			fmt.Printf("==== %s ====\n", name)
-			run[name]()
+		names = []string{"config", "area", "fig1", "fig7", "fig8", "fig9a", "fig9b", "fig10", "lhwpq",
+			"ablation-coalesce", "ablation-structs", "corun", "design", "fences", "lifetime", "numa", "tail", "scaling"}
+	} else {
+		if _, ok := run[*which]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
+			return 2
 		}
-		return
+		names = []string{*which}
 	}
-	fn, ok := run[*which]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
-		os.Exit(2)
+
+	rep := timingReport{
+		Parallel:   pool.Workers(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scaleName,
 	}
+	start := time.Now()
+	failures := 0
+	for _, name := range names {
+		if *which == "all" {
+			fmt.Printf("==== %s ====\n", name)
+		}
+		wall, err := runExperiment(run[name])
+		et := experimentTiming{Name: name, WallNS: wall.Nanoseconds()}
+		if err != nil {
+			et.Error = err.Error()
+			failures++
+			fmt.Fprintf(os.Stderr, "asapbench: experiment %s failed: %v\n", name, err)
+		}
+		rep.Experiments = append(rep.Experiments, et)
+	}
+	rep.WallNS = time.Since(start).Nanoseconds()
+	rep.TotalJobWallNS = jobLog.TotalWall().Nanoseconds()
+	rep.Jobs = jobLog.Snapshot()
+	if prog != nil {
+		prog.Finish()
+	}
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "asapbench: %v\n", err)
+			return 1
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "asapbench: %d of %d experiments failed\n", failures, len(names))
+		return 1
+	}
+	return 0
+}
+
+// runExperiment times one experiment, converting a panic (e.g. a
+// consistency-check failure propagated by the pool) into an error so the
+// remaining experiments still run and the process can exit non-zero.
+func runExperiment(fn func()) (wall time.Duration, err error) {
+	start := time.Now()
+	defer func() {
+		wall = time.Since(start)
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
 	fn()
+	return time.Since(start), nil
+}
+
+// writeJSON writes the timing artifact with a trailing newline.
+func writeJSON(path string, rep timingReport) error {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// isTerminal reports whether f is a character device, gating the default
+// progress line so piped/CI output stays clean.
+func isTerminal(f *os.File) bool {
+	fi, err := f.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }
 
 func printConfig() {

@@ -5,6 +5,7 @@ import (
 
 	"asap/internal/core"
 	"asap/internal/machine"
+	"asap/internal/runner"
 	"asap/internal/schemes"
 	"asap/internal/stats"
 	"asap/internal/workload"
@@ -14,6 +15,7 @@ import (
 // ASAP's design constants (the choices §4.6.2 and Table 2 fix
 // empirically), the co-running throughput claim of §1, the asap_fence
 // degeneration noted in §6.4, and the PM-lifetime framing of §5.1.
+// Like the figures, each fans its run matrix across the package pool.
 
 // AblationCoalesce sweeps the DPO coalescing distance. The paper picks 4:
 // "no benefit has been observed [at] a distance larger than four"
@@ -25,12 +27,20 @@ func AblationCoalesce(scale Scale, bench string) *Table {
 		Note:    "normalized to the paper's distance 4; §4.6.2 predicts a knee at 4",
 		Columns: []string{"pm.writes", "cycles", "dpo.coalesced"},
 	}
-	type point struct{ writes, cycles, coal float64 }
-	pts := map[int]point{}
+	var specs []runSpec
 	for _, d := range distances {
 		opt := core.DefaultOptions()
 		opt.CoalesceDistance = d
-		r := Run(Variant{Scheme: "ASAP", ASAPOpts: &opt}, bench, scale, 64)
+		specs = append(specs, runSpec{
+			v: Variant{Scheme: "ASAP", ASAPOpts: &opt}, bench: bench, scale: scale,
+			valueBytes: 64, label: fmt.Sprintf("%s/dist=%d", bench, d),
+		})
+	}
+	res := runAll("ablation-coalesce", specs)
+	type point struct{ writes, cycles, coal float64 }
+	pts := map[int]point{}
+	for i, d := range distances {
+		r := res[i]
 		pts[d] = point{
 			writes: float64(r.Stats[stats.PMWrites]),
 			cycles: float64(r.Cycles),
@@ -67,11 +77,19 @@ func AblationStructures(scale Scale, bench string) *Table {
 		{"CL4x8,Dep4", 4, 8, 4}, // Table 2
 		{"CL8x16,Dep8", 8, 16, 8},
 	}
-	var base float64
+	var specs []runSpec
 	for _, c := range configs {
 		opt := core.DefaultOptions()
 		opt.CLListEntries, opt.CLPtrSlots, opt.DepSlots = c.clEntries, c.slots, c.depSlots
-		r := Run(Variant{Scheme: "ASAP", ASAPOpts: &opt}, bench, scale, 64)
+		specs = append(specs, runSpec{
+			v: Variant{Scheme: "ASAP", ASAPOpts: &opt}, bench: bench, scale: scale,
+			valueBytes: 64, label: bench + "/" + c.name,
+		})
+	}
+	res := runAll("ablation-structs", specs)
+	var base float64
+	for i, c := range configs {
+		r := res[i]
 		if c.name == "CL4x8,Dep4" {
 			base = float64(r.Cycles)
 		}
@@ -110,9 +128,20 @@ func CoRunning(scale Scale) *Table {
 		{"ASAP", Variant{Scheme: "ASAP"}},
 		{"NP", Variant{Scheme: "NP"}},
 	}
-	for _, v := range variants {
-		res := runMulti(v.v, mix, scale)
-		t.AddRow(v.name, res.Throughput(), float64(res.Stats[stats.PMWrites]))
+	jobs := make([]runner.Job[workload.MultiResult], len(variants))
+	for i, v := range variants {
+		v := v
+		jobs[i] = runner.Job[workload.MultiResult]{
+			Label: "corun/" + v.name,
+			Run:   func() workload.MultiResult { return runMulti(v.v, mix, scale) },
+		}
+	}
+	res, err := runner.Collect(pool, jobs)
+	if err != nil {
+		panic(err)
+	}
+	for i, v := range variants {
+		t.AddRow(v.name, res[i].Throughput(), float64(res[i].Stats[stats.PMWrites]))
 	}
 	return t
 }
@@ -175,35 +204,46 @@ func FenceSweep(scale Scale) *Table {
 		Columns: []string{"ops/kcycle", "wait/fence"},
 	}
 	periods := []int{0, 16, 4, 1}
+	var specs []runSpec
 	for _, p := range periods {
-		// Moderate PM pressure (4x) so commits lag region ends and a fence
-		// genuinely waits, without saturating the WPQ outright. (Under a
-		// fully saturated WPQ fencing can even help, by pacing submissions
-		// so the §5.1 drops keep firing — an emergent effect worth knowing
-		// about, but not this table's.)
-		mc := machine.DefaultConfig()
-		mc.Mem.Controllers, mc.Mem.ChannelsPerMC = 1, 2
-		mc.Mem.PMLatencyMult = 4
-		m := machine.New(mc)
-		s := core.NewEngine(m, core.DefaultOptions())
-		cfg := workload.Config{
-			ValueBytes:   64,
-			InitialItems: scale.InitialItems,
-			Threads:      scale.Threads,
-			OpsPerThread: scale.OpsPerThread,
-			Seed:         42,
-			FencePeriod:  p,
-		}
-		res := workload.Run(&workload.Env{M: m, S: s}, workload.NewQueue(), cfg)
+		p := p
+		specs = append(specs, runSpec{
+			label: fmt.Sprintf("Q/period=%d", p),
+			custom: func() workload.Result {
+				// Moderate PM pressure (4x) so commits lag region ends and a fence
+				// genuinely waits, without saturating the WPQ outright. (Under a
+				// fully saturated WPQ fencing can even help, by pacing submissions
+				// so the §5.1 drops keep firing — an emergent effect worth knowing
+				// about, but not this table's.)
+				mc := machine.DefaultConfig()
+				mc.Mem.Controllers, mc.Mem.ChannelsPerMC = 1, 2
+				mc.Mem.PMLatencyMult = 4
+				m := machine.New(mc)
+				s := core.NewEngine(m, core.DefaultOptions())
+				cfg := workload.Config{
+					ValueBytes:   64,
+					InitialItems: scale.InitialItems,
+					Threads:      scale.Threads,
+					OpsPerThread: scale.OpsPerThread,
+					Seed:         42,
+					FencePeriod:  p,
+				}
+				return workload.Run(&workload.Env{M: m, S: s}, workload.NewQueue(), cfg)
+			},
+		})
+	}
+	res := runAll("fences", specs)
+	for i, p := range periods {
+		r := res[i]
 		name := "no fence"
 		if p > 0 {
 			name = fmt.Sprintf("every %d", p)
 		}
 		wait := 0.0
-		if n := res.Stats[stats.Fences]; n > 0 {
-			wait = float64(res.Stats[stats.FenceCycles]) / float64(n)
+		if n := r.Stats[stats.Fences]; n > 0 {
+			wait = float64(r.Stats[stats.FenceCycles]) / float64(n)
 		}
-		t.AddRow(name, res.Throughput(), wait)
+		t.AddRow(name, r.Throughput(), wait)
 	}
 	return t
 }
@@ -218,10 +258,17 @@ func DesignChoice(scale Scale) *Table {
 		Note:    "ASAP (undo) chosen by the paper for eager DPOs and direct reads",
 		Columns: []string{"ASAP xSW", "ASAP-Redo xSW", "ASAP traffic", "ASAP-Redo traffic"},
 	}
+	order := []string{"SW", "ASAP", "ASAP-Redo"}
+	var specs []runSpec
 	for _, b := range scale.Benchmarks {
-		sw := Run(Variant{Scheme: "SW"}, b, scale, 64)
-		undo := Run(Variant{Scheme: "ASAP"}, b, scale, 64)
-		redo := Run(Variant{Scheme: "ASAP-Redo"}, b, scale, 64)
+		for _, s := range order {
+			specs = append(specs, runSpec{v: Variant{Scheme: s}, bench: b, scale: scale, valueBytes: 64})
+		}
+	}
+	res := runAll("design", specs)
+	ns := len(order)
+	for i, b := range scale.Benchmarks {
+		sw, undo, redo := res[i*ns], res[i*ns+1], res[i*ns+2]
 		ut := float64(undo.Stats[stats.PMWrites])
 		t.AddRow(b,
 			float64(sw.Cycles)/float64(undo.Cycles),
@@ -242,11 +289,20 @@ func Lifetime(scale Scale) *Table {
 		Note:    "wear-leveled endurance scales with 1/write-traffic (§5.1, §1)",
 		Columns: []string{"SW", "HWRedo", "HWUndo", "ASAP"},
 	}
+	order := []string{"SW", "HWRedo", "HWUndo", "ASAP"}
+	var specs []runSpec
 	for _, b := range scale.Benchmarks {
-		sw := float64(Run(Variant{Scheme: "SW"}, b, scale, 64).Stats[stats.PMWrites])
-		redo := float64(Run(Variant{Scheme: "HWRedo"}, b, scale, 64).Stats[stats.PMWrites])
-		undo := float64(Run(Variant{Scheme: "HWUndo"}, b, scale, 64).Stats[stats.PMWrites])
-		asap := float64(Run(Variant{Scheme: "ASAP"}, b, scale, 64).Stats[stats.PMWrites])
+		for _, s := range order {
+			specs = append(specs, runSpec{v: Variant{Scheme: s}, bench: b, scale: scale, valueBytes: 64})
+		}
+	}
+	res := runAll("lifetime", specs)
+	ns := len(order)
+	for i, b := range scale.Benchmarks {
+		sw := float64(res[i*ns].Stats[stats.PMWrites])
+		redo := float64(res[i*ns+1].Stats[stats.PMWrites])
+		undo := float64(res[i*ns+2].Stats[stats.PMWrites])
+		asap := float64(res[i*ns+3].Stats[stats.PMWrites])
 		t.AddRow(b, 1, sw/redo, sw/undo, sw/asap)
 	}
 	t.AddGeoMean()
@@ -264,8 +320,14 @@ func TailLatency(scale Scale) *Table {
 		Note:    "§1: tail latency motivates asynchronous commit; ASAP's tail tracks NP's",
 		Columns: []string{"p50", "p95", "p99"},
 	}
-	for _, s := range []string{"NP", "ASAP", "HWUndo", "HWRedo", "SW"} {
-		r := Run(Variant{Scheme: s}, "Q", scale, 64)
+	order := []string{"NP", "ASAP", "HWUndo", "HWRedo", "SW"}
+	var specs []runSpec
+	for _, s := range order {
+		specs = append(specs, runSpec{v: Variant{Scheme: s}, bench: "Q", scale: scale, valueBytes: 64})
+	}
+	res := runAll("tail", specs)
+	for i, s := range order {
+		r := res[i]
 		t.AddRow(s, float64(r.RegionP50), float64(r.RegionP95), float64(r.RegionP99))
 	}
 	return t
@@ -282,34 +344,45 @@ func NUMA(scale Scale) *Table {
 		Note:    "§7.3: ASAP's persist latency is off the critical path, so remote channels barely hurt",
 		Columns: []string{"UMA", "remote+200", "remote+800"},
 	}
-	for _, s := range []string{"NP", "ASAP", "HWUndo", "HWRedo"} {
+	order := []string{"NP", "ASAP", "HWUndo", "HWRedo"}
+	penalties := []uint64{0, 200, 800}
+	var specs []runSpec
+	for _, s := range order {
+		for _, penalty := range penalties {
+			s, penalty := s, penalty
+			specs = append(specs, runSpec{
+				label: fmt.Sprintf("Q/%s+%d", s, penalty),
+				custom: func() workload.Result {
+					mc := machine.DefaultConfig()
+					mc.Mem.NUMARemotePenalty = penalty
+					m := machine.New(mc)
+					var sch machine.Scheme
+					switch s {
+					case "NP":
+						sch = schemes.NewNP(m)
+					case "ASAP":
+						sch = core.NewEngine(m, core.DefaultOptions())
+					case "HWUndo":
+						sch = schemes.NewHWUndo(m)
+					case "HWRedo":
+						sch = schemes.NewHWRedo(m)
+					}
+					cfg := workload.Config{
+						ValueBytes: 64, InitialItems: scale.InitialItems,
+						Threads: scale.Threads, OpsPerThread: scale.OpsPerThread, Seed: 42,
+					}
+					return workload.Run(&workload.Env{M: m, S: sch}, workload.NewQueue(), cfg)
+				},
+			})
+		}
+	}
+	res := runAll("numa", specs)
+	np := len(penalties)
+	for i, s := range order {
+		base := res[i*np].Throughput()
 		var vals []float64
-		var base float64
-		for _, penalty := range []uint64{0, 200, 800} {
-			mc := machine.DefaultConfig()
-			mc.Mem.NUMARemotePenalty = penalty
-			m := machine.New(mc)
-			var sch machine.Scheme
-			switch s {
-			case "NP":
-				sch = schemes.NewNP(m)
-			case "ASAP":
-				sch = core.NewEngine(m, core.DefaultOptions())
-			case "HWUndo":
-				sch = schemes.NewHWUndo(m)
-			case "HWRedo":
-				sch = schemes.NewHWRedo(m)
-			}
-			cfg := workload.Config{
-				ValueBytes: 64, InitialItems: scale.InitialItems,
-				Threads: scale.Threads, OpsPerThread: scale.OpsPerThread, Seed: 42,
-			}
-			res := workload.Run(&workload.Env{M: m, S: sch}, workload.NewQueue(), cfg)
-			thr := res.Throughput()
-			if penalty == 0 {
-				base = thr
-			}
-			vals = append(vals, thr/base)
+		for j := range penalties {
+			vals = append(vals, res[i*np+j].Throughput()/base)
 		}
 		t.AddRow(s, vals...)
 	}
@@ -329,13 +402,24 @@ func Scaling(scale Scale) *Table {
 		Note:    "§2.1: persist latency inside critical sections throttles concurrency",
 		Columns: []string{"1", "2", "4", "8"},
 	}
-	for _, s := range []string{"NP", "ASAP", "HWUndo", "SW"} {
-		var vals []float64
+	order := []string{"NP", "ASAP", "HWUndo", "SW"}
+	var specs []runSpec
+	for _, s := range order {
 		for _, n := range threads {
 			sc := scale
 			sc.Threads = n
-			r := Run(Variant{Scheme: s, PMMult: 4}, "Q", sc, 64)
-			vals = append(vals, r.Throughput())
+			specs = append(specs, runSpec{
+				v: Variant{Scheme: s, PMMult: 4}, bench: "Q", scale: sc,
+				valueBytes: 64, label: fmt.Sprintf("Q/%s/t%d", s, n),
+			})
+		}
+	}
+	res := runAll("scaling", specs)
+	nt := len(threads)
+	for i, s := range order {
+		var vals []float64
+		for j := range threads {
+			vals = append(vals, res[i*nt+j].Throughput())
 		}
 		t.AddRow(s, vals...)
 	}

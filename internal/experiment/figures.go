@@ -1,9 +1,15 @@
 package experiment
 
 import (
+	"fmt"
+
 	"asap/internal/core"
 	"asap/internal/stats"
 )
+
+// Every figure in this file fans its (variant × benchmark) matrix across
+// the package pool with runAll and assembles rows from the ordered
+// results, so the tables are byte-identical at any pool width.
 
 // Fig1 reproduces Figure 1: throughput of the software approach with
 // DPO-only and LPO&DPO persist operations, normalized to NP, on the eight
@@ -14,13 +20,21 @@ func Fig1(scale Scale) *Table {
 		Note:    "normalized throughput, higher is better; paper geomeans: DPO-only 0.58x, LPO&DPO 0.31x",
 		Columns: []string{"NP", "DPO Only", "LPO & DPO"},
 	}
+	schemesOrder := []string{"NP", "SW-DPOOnly", "SW"}
+	var benches []string
+	var specs []runSpec
 	for _, b := range scale.Benchmarks {
 		if b == "TPCC" {
 			continue // Figure 1 runs the eight original benchmarks
 		}
-		np := Run(Variant{Scheme: "NP"}, b, scale, 64)
-		dpo := Run(Variant{Scheme: "SW-DPOOnly"}, b, scale, 64)
-		sw := Run(Variant{Scheme: "SW"}, b, scale, 64)
+		benches = append(benches, b)
+		for _, s := range schemesOrder {
+			specs = append(specs, runSpec{v: Variant{Scheme: s}, bench: b, scale: scale, valueBytes: 64})
+		}
+	}
+	res := runAll("fig1", specs)
+	for i, b := range benches {
+		np, dpo, sw := res[3*i], res[3*i+1], res[3*i+2]
 		base := np.Throughput()
 		t.AddRow(b, 1.0, dpo.Throughput()/base, sw.Throughput()/base)
 	}
@@ -39,15 +53,19 @@ func Fig7(scale Scale, valueBytes int) *Table {
 		Note:    "paper geomeans at both sizes: HWRedo 1.49x, HWUndo 1.60x, ASAP 2.25x, NP 2.34x",
 		Columns: fig7Schemes,
 	}
+	var specs []runSpec
 	for _, b := range scale.Benchmarks {
-		var vals []float64
-		var swCycles float64
 		for _, s := range fig7Schemes {
-			r := Run(Variant{Scheme: s}, b, scale, valueBytes)
-			if s == "SW" {
-				swCycles = float64(r.Cycles)
-			}
-			vals = append(vals, swCycles/float64(r.Cycles))
+			specs = append(specs, runSpec{v: Variant{Scheme: s}, bench: b, scale: scale, valueBytes: valueBytes})
+		}
+	}
+	res := runAll(fmt.Sprintf("fig7-%dB", valueBytes), specs)
+	ns := len(fig7Schemes)
+	for i, b := range scale.Benchmarks {
+		swCycles := float64(res[i*ns].Cycles) // fig7Schemes[0] == "SW"
+		var vals []float64
+		for j := range fig7Schemes {
+			vals = append(vals, swCycles/float64(res[i*ns+j].Cycles))
 		}
 		t.AddRow(b, vals...)
 	}
@@ -63,17 +81,23 @@ func Fig8(scale Scale, valueBytes int) *Table {
 		Note:    "paper geomeans: HWRedo 1.69x, HWUndo 1.61x, ASAP 1.08x",
 		Columns: fig7Schemes,
 	}
+	var specs []runSpec
 	for _, b := range scale.Benchmarks {
-		var vals []float64
-		var np float64
-		np = Run(Variant{Scheme: "NP"}, b, scale, valueBytes).CyclesPerRegion()
 		for _, s := range fig7Schemes {
+			specs = append(specs, runSpec{v: Variant{Scheme: s}, bench: b, scale: scale, valueBytes: valueBytes})
+		}
+	}
+	res := runAll("fig8", specs)
+	ns := len(fig7Schemes)
+	for i, b := range scale.Benchmarks {
+		np := res[i*ns+ns-1].CyclesPerRegion() // fig7Schemes[len-1] == "NP"
+		var vals []float64
+		for j, s := range fig7Schemes {
 			if s == "NP" {
 				vals = append(vals, 1)
 				continue
 			}
-			r := Run(Variant{Scheme: s}, b, scale, valueBytes)
-			vals = append(vals, r.CyclesPerRegion()/np)
+			vals = append(vals, res[i*ns+j].CyclesPerRegion()/np)
 		}
 		t.AddRow(b, vals...)
 	}
@@ -113,12 +137,22 @@ func Fig9a(scale Scale) *Table {
 		Note:    "PM write traffic normalized to ASAP; paper: +C saves ~8%, +LP ~33%, +DP ~31%",
 		Columns: []string{variants[0].Name, variants[1].Name, variants[2].Name, variants[3].Name},
 	}
+	var specs []runSpec
 	for _, b := range scale.Benchmarks {
-		var raw []float64
 		for _, v := range variants {
 			opts := v.Opts
-			r := Run(Variant{Scheme: "ASAP", ASAPOpts: &opts}, b, scale, 64)
-			raw = append(raw, float64(r.Stats[stats.PMWrites]))
+			specs = append(specs, runSpec{
+				v: Variant{Scheme: "ASAP", ASAPOpts: &opts}, bench: b, scale: scale,
+				valueBytes: 64, label: b + "/" + v.Name,
+			})
+		}
+	}
+	res := runAll("fig9a", specs)
+	nv := len(variants)
+	for i, b := range scale.Benchmarks {
+		var raw []float64
+		for j := range variants {
+			raw = append(raw, float64(res[i*nv+j].Stats[stats.PMWrites]))
 		}
 		base := raw[len(raw)-1]
 		var vals []float64
@@ -140,11 +174,18 @@ func Fig9b(scale Scale) *Table {
 		Note:    "paper: ASAP = 0.62x HWRedo, 0.52x HWUndo, 0.39x SW; Q benefits most vs HWUndo",
 		Columns: order,
 	}
+	var specs []runSpec
 	for _, b := range scale.Benchmarks {
-		var raw []float64
 		for _, s := range order {
-			r := Run(Variant{Scheme: s}, b, scale, 64)
-			raw = append(raw, float64(r.Stats[stats.PMWrites]))
+			specs = append(specs, runSpec{v: Variant{Scheme: s}, bench: b, scale: scale, valueBytes: 64})
+		}
+	}
+	res := runAll("fig9b", specs)
+	ns := len(order)
+	for i, b := range scale.Benchmarks {
+		var raw []float64
+		for j := range order {
+			raw = append(raw, float64(res[i*ns+j].Stats[stats.PMWrites]))
 		}
 		base := raw[len(raw)-1]
 		var vals []float64
@@ -169,22 +210,36 @@ func Fig10(scale Scale) []*Table {
 	}
 	mults := []int{1, 2, 4, 16}
 	schemesOrder := []string{"NP", "ASAP", "HWUndo", "HWRedo"}
-	var tables []*Table
+	ns := len(schemesOrder)
+	var specs []runSpec
 	for _, b := range scale.Benchmarks {
+		for _, m := range mults {
+			for _, s := range schemesOrder {
+				specs = append(specs, runSpec{
+					v: Variant{Scheme: s, PMMult: m}, bench: b, scale: scale,
+					valueBytes: 64, label: fmt.Sprintf("%s/%s@%dx", b, s, m),
+				})
+			}
+		}
+	}
+	res := runAll("fig10", specs)
+	var tables []*Table
+	for i, b := range scale.Benchmarks {
 		t := &Table{
 			Title:   "Figure 10 [" + b + "]: throughput vs PM latency (normalized to NP at same latency)",
 			Note:    "paper: ASAP stays near NP across 1x-16x; HWUndo degrades fastest",
 			Columns: []string{"1x", "2x", "4x", "16x"},
 		}
 		perScheme := map[string][]float64{}
-		for _, m := range mults {
-			np := Run(Variant{Scheme: "NP", PMMult: m}, b, scale, 64).Throughput()
-			for _, s := range schemesOrder {
+		for mi := range mults {
+			base := i*len(mults)*ns + mi*ns
+			np := res[base].Throughput() // schemesOrder[0] == "NP"
+			for j, s := range schemesOrder {
 				var v float64
 				if s == "NP" {
 					v = 1
 				} else {
-					v = Run(Variant{Scheme: s, PMMult: m}, b, scale, 64).Throughput() / np
+					v = res[base+j].Throughput() / np
 				}
 				perScheme[s] = append(perScheme[s], v)
 			}
@@ -205,13 +260,33 @@ func Sec74(scale Scale) *Table {
 		Note:    "paper: ASAP@16 runs 0.78x of ASAP@128, still 1.18x/1.10x over HWRedo/HWUndo@128",
 		Columns: []string{"ASAP@128", "ASAP@16", "HWRedo@128", "HWUndo@128"},
 	}
+	variants := []struct {
+		label string
+		v     Variant
+	}{
+		{"SW", Variant{Scheme: "SW"}},
+		{"ASAP@128", Variant{Scheme: "ASAP"}},
+		{"ASAP@16", Variant{Scheme: "ASAP", LHWPQ: 16}},
+		{"HWRedo@128", Variant{Scheme: "HWRedo"}},
+		{"HWUndo@128", Variant{Scheme: "HWUndo"}},
+	}
+	var specs []runSpec
 	for _, b := range scale.Benchmarks {
-		sw := float64(Run(Variant{Scheme: "SW"}, b, scale, 64).Cycles)
-		a128 := sw / float64(Run(Variant{Scheme: "ASAP"}, b, scale, 64).Cycles)
-		a16 := sw / float64(Run(Variant{Scheme: "ASAP", LHWPQ: 16}, b, scale, 64).Cycles)
-		redo := sw / float64(Run(Variant{Scheme: "HWRedo"}, b, scale, 64).Cycles)
-		undo := sw / float64(Run(Variant{Scheme: "HWUndo"}, b, scale, 64).Cycles)
-		t.AddRow(b, a128, a16, redo, undo)
+		for _, v := range variants {
+			specs = append(specs, runSpec{
+				v: v.v, bench: b, scale: scale, valueBytes: 64, label: b + "/" + v.label,
+			})
+		}
+	}
+	res := runAll("sec74", specs)
+	nv := len(variants)
+	for i, b := range scale.Benchmarks {
+		sw := float64(res[i*nv].Cycles)
+		var vals []float64
+		for j := 1; j < nv; j++ {
+			vals = append(vals, sw/float64(res[i*nv+j].Cycles))
+		}
+		t.AddRow(b, vals...)
 	}
 	t.AddGeoMean()
 	return t

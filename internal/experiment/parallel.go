@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"fmt"
+
+	"asap/internal/runner"
+	"asap/internal/workload"
+)
+
+// pool executes every figure's (variant × benchmark) matrix. The default
+// is a serial pool, which preserves the seed behaviour exactly;
+// cmd/asapbench swaps in a wider one via SetPool. Because each Run builds
+// a fresh machine and the sim kernel is bit-deterministic, and because
+// the pool assembles results in submission order, every table is
+// byte-identical regardless of the pool width.
+var pool = runner.New(1)
+
+// SetPool installs the worker pool used by all figure runners. A nil
+// pool restores the serial default. Not safe to call while figures run.
+func SetPool(p *runner.Pool) {
+	if p == nil {
+		p = runner.New(1)
+	}
+	pool = p
+}
+
+// SetParallelism is SetPool(runner.New(n)) for callers that need neither
+// a progress reporter nor a metrics log.
+func SetParallelism(n int) { SetPool(runner.New(n)) }
+
+// Pool returns the currently installed pool.
+func Pool() *runner.Pool { return pool }
+
+// runSpec describes one benchmark run for pooled fan-out: either a
+// standard Run invocation, or a custom closure for runs that build their
+// own machine configuration.
+type runSpec struct {
+	v          Variant
+	bench      string
+	scale      Scale
+	valueBytes int
+	// label overrides the auto-built "figure/bench/scheme" job label.
+	label string
+	// custom, when non-nil, replaces the standard Run call.
+	custom func() workload.Result
+}
+
+// runAll fans specs across the pool and returns results in spec order.
+// A panic inside any job (e.g. a consistency-check failure) is re-raised
+// here, preserving Run's serial semantics for callers.
+func runAll(figure string, specs []runSpec) []workload.Result {
+	jobs := make([]runner.Job[workload.Result], len(specs))
+	for i, s := range specs {
+		s := s
+		label := s.label
+		if label == "" {
+			label = fmt.Sprintf("%s/%s/%s", figure, s.bench, s.v.Scheme)
+		} else {
+			label = figure + "/" + label
+		}
+		run := s.custom
+		if run == nil {
+			run = func() workload.Result { return Run(s.v, s.bench, s.scale, s.valueBytes) }
+		}
+		jobs[i] = runner.Job[workload.Result]{Label: label, Run: run}
+	}
+	out, err := runner.Collect(pool, jobs)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is a single-line textual progress reporter for pooled
+// experiment sweeps: jobs done/total, elapsed, ETA, and the slowest job
+// seen so far. It implements the runner package's Reporter contract
+// structurally (Start/Done), so report does not import runner. Batches
+// accumulate: each Start call raises the total, letting one Progress
+// span every figure of an asapbench run.
+type Progress struct {
+	mu        sync.Mutex
+	w         io.Writer
+	start     time.Time
+	total     int
+	done      int
+	failed    int
+	slowLabel string
+	slowWall  time.Duration
+}
+
+// NewProgress returns a Progress writing to w (typically stderr).
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w}
+}
+
+// Start announces a batch of jobs; totals accumulate across batches.
+func (p *Progress) Start(total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.start.IsZero() {
+		p.start = time.Now()
+	}
+	p.total += total
+}
+
+// Done reports one finished job and redraws the progress line.
+func (p *Progress) Done(label string, wall time.Duration, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if !ok {
+		p.failed++
+	}
+	if wall > p.slowWall {
+		p.slowWall, p.slowLabel = wall, label
+	}
+	p.draw()
+}
+
+// draw repaints the line; callers hold p.mu.
+func (p *Progress) draw() {
+	elapsed := time.Since(p.start)
+	var eta time.Duration
+	if p.done > 0 && p.total > p.done {
+		eta = elapsed / time.Duration(p.done) * time.Duration(p.total-p.done)
+	}
+	pct := 0.0
+	if p.total > 0 {
+		pct = 100 * float64(p.done) / float64(p.total)
+	}
+	line := fmt.Sprintf("[%d/%d] %3.0f%% elapsed %s eta %s",
+		p.done, p.total, pct,
+		elapsed.Round(100*time.Millisecond), eta.Round(100*time.Millisecond))
+	if p.failed > 0 {
+		line += fmt.Sprintf(" failed %d", p.failed)
+	}
+	if p.slowLabel != "" {
+		line += fmt.Sprintf(" slowest %s (%s)", p.slowLabel, p.slowWall.Round(time.Millisecond))
+	}
+	fmt.Fprintf(p.w, "\r\x1b[K%s", line)
+}
+
+// Finish terminates the progress line with a summary and a newline.
+func (p *Progress) Finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.total == 0 {
+		return
+	}
+	p.draw()
+	fmt.Fprintln(p.w)
+}

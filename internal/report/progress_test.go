@@ -1,0 +1,43 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProgressCountsAndSlowest(t *testing.T) {
+	var b strings.Builder
+	p := NewProgress(&b)
+	p.Start(3)
+	p.Done("fig1/Q/NP", 2*time.Millisecond, true)
+	p.Done("fig1/Q/SW", 9*time.Millisecond, true)
+	p.Start(2) // batches accumulate
+	p.Done("fig7/Q/NP", 1*time.Millisecond, false)
+	out := b.String()
+	if !strings.Contains(out, "[3/5]") {
+		t.Fatalf("running totals missing from %q", out)
+	}
+	if !strings.Contains(out, "slowest fig1/Q/SW") {
+		t.Fatalf("slowest job missing from %q", out)
+	}
+	if !strings.Contains(out, "failed 1") {
+		t.Fatalf("failure count missing from %q", out)
+	}
+	if !strings.Contains(out, "eta") {
+		t.Fatalf("eta missing from %q", out)
+	}
+	p.Finish()
+	if !strings.HasSuffix(b.String(), "\n") {
+		t.Fatalf("Finish must terminate the line")
+	}
+}
+
+func TestProgressFinishWithoutJobsIsSilent(t *testing.T) {
+	var b strings.Builder
+	p := NewProgress(&b)
+	p.Finish()
+	if b.Len() != 0 {
+		t.Fatalf("idle Finish wrote %q", b.String())
+	}
+}

@@ -1,0 +1,168 @@
+// Package runner fans independent experiment jobs across a fixed-size
+// worker pool and assembles their results in deterministic submission
+// order. Every figure in the paper's evaluation is a (variant ×
+// benchmark) matrix of runs that build private machines and share no
+// state, so the sweep is embarrassingly parallel — but tables and
+// EXPERIMENTS.md diffs must stay byte-stable regardless of scheduling,
+// which is why results are returned by submission index, never by
+// completion order.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"asap/internal/stats"
+)
+
+// Job is one schedulable unit of work: a labelled closure. Jobs must be
+// independent of each other; the pool guarantees nothing about execution
+// order, only about result order.
+type Job[R any] struct {
+	Label string
+	Run   func() R
+}
+
+// Measurable lets the pool lift simulator metrics out of a job result
+// without knowing its concrete type. workload.Result and
+// workload.MultiResult implement it.
+type Measurable interface {
+	SimCycles() uint64
+	SimOps() int64
+}
+
+// Reporter receives progress callbacks from the pool. Calls are
+// serialized (never concurrent), but Done arrives in completion order,
+// not submission order.
+type Reporter interface {
+	// Start announces one batch of jobs about to run; a pool used for
+	// several batches calls Start once per batch, so totals accumulate.
+	Start(total int)
+	// Done reports one finished job: its label, host wall time, and
+	// whether it completed without panicking.
+	Done(label string, wall time.Duration, ok bool)
+}
+
+// PanicError carries a panic out of a worker goroutine to the caller of
+// Collect, preserving the job label and the recovered value.
+type PanicError struct {
+	Label string
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %q panicked: %v", e.Label, e.Value)
+}
+
+// Pool is a fixed set of workers for Collect batches. The zero value is
+// not usable; create one with New. A Pool may run any number of batches,
+// one at a time or from a single goroutine.
+type Pool struct {
+	workers  int
+	reporter Reporter
+	metrics  *stats.JobLog
+}
+
+// New returns a pool of the given width. Zero or negative means
+// GOMAXPROCS; one gives serial execution in submission order.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// SetReporter installs a progress reporter (nil disables reporting).
+func (p *Pool) SetReporter(r Reporter) { p.reporter = r }
+
+// SetMetrics installs a job log that receives one stats.JobMetrics per
+// job, appended in submission order after each batch completes.
+func (p *Pool) SetMetrics(l *stats.JobLog) { p.metrics = l }
+
+// Collect runs every job on p's workers and returns their results
+// indexed by submission order. A panicking job is captured as a
+// *PanicError; the remaining jobs still run, and the error returned is
+// the panic of the earliest-submitted failing job, so error reporting is
+// as deterministic as the results. Results at failed indices are the
+// zero value of R.
+func Collect[R any](p *Pool, jobs []Job[R]) ([]R, error) {
+	n := len(jobs)
+	results := make([]R, n)
+	walls := make([]time.Duration, n)
+	errs := make([]error, n)
+
+	if p.reporter != nil {
+		p.reporter.Start(n)
+	}
+
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	var repMu sync.Mutex
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				start := time.Now()
+				errs[i] = runOne(&results[i], jobs[i])
+				walls[i] = time.Since(start)
+				if p.reporter != nil {
+					repMu.Lock()
+					p.reporter.Done(jobs[i].Label, walls[i], errs[i] == nil)
+					repMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	if p.metrics != nil {
+		for i := range jobs {
+			p.metrics.Record(jobMetrics(jobs[i].Label, walls[i], results[i]))
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// runOne executes one job with panic capture.
+func runOne[R any](dst *R, j Job[R]) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Label: j.Label, Value: r}
+		}
+	}()
+	*dst = j.Run()
+	return nil
+}
+
+// jobMetrics summarizes one finished job, lifting simulated cycles and
+// operation counts when the result type exposes them.
+func jobMetrics[R any](label string, wall time.Duration, res R) stats.JobMetrics {
+	m := stats.JobMetrics{Label: label, WallNS: wall.Nanoseconds()}
+	if meas, ok := any(res).(Measurable); ok {
+		m.Cycles = meas.SimCycles()
+		m.Ops = meas.SimOps()
+		if s := wall.Seconds(); s > 0 {
+			m.OpsPerSec = float64(m.Ops) / s
+		}
+	}
+	return m
+}

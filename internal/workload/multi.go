@@ -30,6 +30,12 @@ func (r MultiResult) Throughput() float64 {
 	return float64(r.TotalOps) / float64(r.Cycles) * 1000
 }
 
+// SimCycles implements the runner package's Measurable contract.
+func (r MultiResult) SimCycles() uint64 { return r.Cycles }
+
+// SimOps implements the runner package's Measurable contract.
+func (r MultiResult) SimOps() int64 { return r.TotalOps }
+
 // RunMulti runs every benchmark in benches concurrently on one machine:
 // each gets its own worker threads, all sharing the caches, WPQs and PM
 // bandwidth.

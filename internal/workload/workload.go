@@ -206,6 +206,12 @@ func (r Result) Throughput() float64 {
 	return float64(r.Ops) / float64(r.Cycles) * 1000
 }
 
+// SimCycles implements the runner package's Measurable contract.
+func (r Result) SimCycles() uint64 { return r.Cycles }
+
+// SimOps implements the runner package's Measurable contract.
+func (r Result) SimOps() int64 { return r.Ops }
+
 // CyclesPerRegion returns the mean core-visible region latency.
 func (r Result) CyclesPerRegion() float64 {
 	n := r.Stats[stats.RegionsBegun]
