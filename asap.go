@@ -219,16 +219,47 @@ type RecoveryReport struct {
 	Uncommitted int
 	// EntriesRestored counts 64 B undo entries applied.
 	EntriesRestored int
+	// RecordsScanned counts valid log record headers found in the image.
+	RecordsScanned int
+	// LiveRecords counts log record slots allocated but not freed at the
+	// crash — each one validated before the image was touched.
+	LiveRecords int
+	// Discarded counts corrupt lines classified as stale leftovers of
+	// committed regions and ignored.
+	Discarded int
+}
+
+// RecoverOptions tunes Recover.
+type RecoverOptions struct {
+	// SkipValidation disables the image integrity pass (checksums,
+	// live-record accounting) and silently skips damaged material — the
+	// unhardened recovery, kept only so the crash-consistency checker can
+	// demonstrate what validation catches. Never set it in real use.
+	SkipValidation bool
 }
 
 // Recover rolls every uncommitted region back in reverse happens-before
-// order, repairing the persisted image in place (§5.5).
+// order, repairing the persisted image in place (§5.5). Before modifying
+// anything it validates the image: damaged undo material for an
+// uncommitted region yields a *recovery.CorruptionError and the image is
+// left untouched.
 func (c *CrashState) Recover() (*RecoveryReport, error) {
-	rep, err := recovery.Recover(c.cs)
+	return c.RecoverWithOptions(RecoverOptions{})
+}
+
+// RecoverWithOptions is Recover with explicit options.
+func (c *CrashState) RecoverWithOptions(opt RecoverOptions) (*RecoveryReport, error) {
+	rep, err := recovery.RecoverWithOptions(c.cs, recovery.Options{SkipValidation: opt.SkipValidation})
 	if err != nil {
 		return nil, err
 	}
-	return &RecoveryReport{Uncommitted: len(rep.Uncommitted), EntriesRestored: rep.EntriesRestored}, nil
+	return &RecoveryReport{
+		Uncommitted:     len(rep.Uncommitted),
+		EntriesRestored: rep.EntriesRestored,
+		RecordsScanned:  rep.RecordsScanned,
+		LiveRecords:     rep.LiveRecords,
+		Discarded:       len(rep.Discarded),
+	}, nil
 }
 
 // ReadUint64 reads a little-endian uint64 from the persisted image.

@@ -1,0 +1,110 @@
+// Command asapcrash sweeps the systematic crash-consistency checker: a
+// (crash point × fault mix × workload) matrix of simulated power failures,
+// each recovered through the public crash path and verified against the
+// workload's invariants. It exits nonzero if any case ends in an invariant
+// violation or a harness error, so CI can gate on it; -skip-validation is
+// the deliberate negative control that must make it fail.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"asap/internal/crashtest"
+	"asap/internal/faults"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "sweep seed: derives every crash point and fault decision")
+	points := flag.Int("points", 8, "crash points per (workload, mix) pair")
+	crashLo := flag.Uint64("crash-lo", 900, "earliest crash cycle (from measurement start)")
+	crashHi := flag.Uint64("crash-hi", 91000, "latest crash cycle")
+	workloads := flag.String("workloads", "", "comma-separated workloads (default: all of "+strings.Join(crashtest.Workloads(), ",")+")")
+	mixes := flag.String("mixes", "", "semicolon-separated fault mixes, e.g. 'none;torn=0.3;drop=0.2,flip=1' (default: built-in set)")
+	skipValidation := flag.Bool("skip-validation", false, "recover without the integrity pass (negative control: expect failures)")
+	shrink := flag.Int("shrink", 32, "replay budget for minimizing each violation's fault set (0 = off)")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write the full JSON report to this file")
+	verbose := flag.Bool("v", false, "print every non-clean outcome")
+	flag.Parse()
+
+	cfg := crashtest.SweepConfig{
+		Seed:           *seed,
+		Points:         *points,
+		CrashLo:        *crashLo,
+		CrashHi:        *crashHi,
+		Workers:        *workers,
+		SkipValidation: *skipValidation,
+		ShrinkBudget:   *shrink,
+	}
+	if *workloads != "" {
+		cfg.Workloads = strings.Split(*workloads, ",")
+	}
+	if *mixes != "" {
+		for _, s := range strings.Split(*mixes, ";") {
+			mix, err := faults.ParseMix(s)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			cfg.Mixes = append(cfg.Mixes, mix)
+		}
+	}
+
+	sum, err := crashtest.Sweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("asapcrash: %d cases (seed %d)\n", sum.Total, *seed)
+	verdicts := make([]string, 0, len(sum.Counts))
+	for v := range sum.Counts {
+		verdicts = append(verdicts, string(v))
+	}
+	sort.Strings(verdicts)
+	for _, v := range verdicts {
+		fmt.Printf("  %-10s %d\n", v, sum.Counts[crashtest.Verdict(v)])
+	}
+
+	for _, o := range sum.Outcomes {
+		interesting := o.Verdict == crashtest.VerdictViolation || o.Verdict == crashtest.VerdictError
+		if !interesting && !(*verbose && o.Verdict != crashtest.VerdictClean) {
+			continue
+		}
+		fmt.Printf("%s: %s", o.Verdict, o.Case)
+		if o.Detail != "" {
+			fmt.Printf(": %s", o.Detail)
+		}
+		fmt.Println()
+		events := o.Shrunk
+		if events == nil {
+			events = o.Faults
+		}
+		for _, ev := range events {
+			fmt.Printf("    %s\n", ev)
+		}
+	}
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(sum, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, blob, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "writing report:", err)
+			os.Exit(2)
+		}
+		fmt.Println("report:", *jsonPath)
+	}
+
+	if bad := sum.Bad(); bad > 0 {
+		fmt.Printf("FAIL: %d violation/error case(s)\n", bad)
+		os.Exit(1)
+	}
+	fmt.Println("OK: zero invariant violations")
+}

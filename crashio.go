@@ -22,12 +22,22 @@ func (c *CrashState) Save(w io.Writer) error {
 
 // LoadCrashState reads a crash state previously written by Save. The
 // result supports Recover and the image readers exactly like a live one.
-func LoadCrashState(r io.Reader) (*CrashState, error) {
-	cs := &core.CrashState{}
-	if err := gob.NewDecoder(r).Decode(cs); err != nil {
-		return nil, fmt.Errorf("asap: loading crash state: %w", err)
+// A truncated, corrupt, or structurally malformed input yields an error —
+// never a panic — so untrusted crash files are safe to load.
+func LoadCrashState(r io.Reader) (cs *CrashState, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			cs, err = nil, fmt.Errorf("asap: loading crash state: malformed input: %v", p)
+		}
+	}()
+	raw := &core.CrashState{}
+	if derr := gob.NewDecoder(r).Decode(raw); derr != nil {
+		return nil, fmt.Errorf("asap: loading crash state: %w", derr)
 	}
-	return &CrashState{cs: cs}, nil
+	if verr := raw.Validate(); verr != nil {
+		return nil, fmt.Errorf("asap: loading crash state: %w", verr)
+	}
+	return &CrashState{cs: raw}, nil
 }
 
 // NewSystemFromCrash builds a fresh system — the machine after the power

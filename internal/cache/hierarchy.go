@@ -64,7 +64,7 @@ func (h *Hierarchy) Table() *Table { return h.table }
 
 func (h *Hierarchy) pinned(line arch.LineAddr) bool {
 	m := h.table.Peek(line)
-	return m != nil && m.LockBit
+	return m != nil && m.Locked()
 }
 
 // CanAccess reports whether an access by core to line could allocate all

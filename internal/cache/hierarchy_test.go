@@ -122,7 +122,7 @@ func TestLockBitPinsLine(t *testing.T) {
 	var evicted []EvictInfo
 	h.SetEvictHook(func(e EvictInfo) { evicted = append(evicted, e) })
 	mustAccess(t, h, 0, line(0), true)
-	h.Table().Get(line(0)).LockBit = true
+	h.Table().Get(line(0)).Lock()
 	mustAccess(t, h, 0, line(8), false)
 	mustAccess(t, h, 0, line(16), false) // must evict line 8, not locked line 0
 	for _, e := range evicted {
@@ -139,15 +139,15 @@ func TestFullyPinnedSetStalls(t *testing.T) {
 	_, h := tiny(1, nil)
 	mustAccess(t, h, 0, line(0), true)
 	mustAccess(t, h, 0, line(8), true)
-	h.Table().Get(line(0)).LockBit = true
-	h.Table().Get(line(8)).LockBit = true
+	h.Table().Get(line(0)).Lock()
+	h.Table().Get(line(8)).Lock()
 	if _, ok := h.Access(0, line(16), false); ok {
 		t.Fatal("access should stall when the whole L3 set is pinned")
 	}
 	if h.CanAccess(0, line(16)) {
 		t.Fatal("CanAccess should be false")
 	}
-	h.Table().Get(line(0)).LockBit = false
+	h.Table().Get(line(0)).Unlock()
 	if _, ok := h.Access(0, line(16), false); !ok {
 		t.Fatal("access should proceed after unlock")
 	}
@@ -166,8 +166,8 @@ func TestAccessBlockingWaitsForUnlock(t *testing.T) {
 	var done uint64
 	k.Spawn("t", func(th *sim.Thread) {
 		th.Advance(h.AccessBlocking(th, 0, line(0), true))
-		h.Table().Get(line(0)).LockBit = true
-		k.Schedule(500, func() { h.Table().Get(line(0)).LockBit = false })
+		h.Table().Get(line(0)).Lock()
+		k.Schedule(500, func() { h.Table().Get(line(0)).Unlock() })
 		th.Advance(h.AccessBlocking(th, 0, line(1), false))
 		done = th.Now()
 	})
@@ -255,8 +255,8 @@ func TestLRUVictimSelection(t *testing.T) {
 
 func TestLockedCount(t *testing.T) {
 	_, h := tiny(1, nil)
-	h.Table().Get(line(0)).LockBit = true
-	h.Table().Get(line(1)).LockBit = true
+	h.Table().Get(line(0)).Lock()
+	h.Table().Get(line(1)).Lock()
 	h.Table().Get(line(2))
 	if got := h.Table().LockedCount(); got != 2 {
 		t.Fatalf("LockedCount = %d, want 2", got)

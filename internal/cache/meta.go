@@ -11,10 +11,17 @@ type Meta struct {
 	// PBit marks the line as persistent-memory data; set from the page
 	// table bit when the line is brought into the cache.
 	PBit bool
-	// LockBit is set between initiating a line's LPO and the LPO's
-	// completion: while set, the line may be neither written back (DPO)
-	// nor evicted (§4.6.1).
-	LockBit bool
+	// Locks counts LPOs in flight for the line. The paper describes a
+	// single LockBit set between initiating a line's LPO and the LPO's
+	// completion (§4.6.1), which suffices when one region at a time logs
+	// a line; with regions on different threads first-writing the same
+	// line concurrently, each in-flight LPO must keep the line pinned —
+	// otherwise the first acceptance would unlock the line and let a
+	// newer region's DPO persist a value whose undo entry is still in
+	// flight (and lost at a crash). The hardware analogue is a small
+	// saturating counter in place of the bit. While Locks > 0 the line
+	// may be neither written back (DPO) nor evicted.
+	Locks int
 	// Owner is the atomic region that last wrote the line, or NoRID.
 	Owner arch.RID
 
@@ -25,6 +32,20 @@ type Meta struct {
 
 // Line returns the line address this metadata describes.
 func (m *Meta) Line() arch.LineAddr { return m.line }
+
+// Locked reports whether any LPO for the line is still in flight.
+func (m *Meta) Locked() bool { return m.Locks > 0 }
+
+// Lock pins the line for one more in-flight LPO.
+func (m *Meta) Lock() { m.Locks++ }
+
+// Unlock releases one in-flight LPO's pin.
+func (m *Meta) Unlock() {
+	if m.Locks <= 0 {
+		panic("cache: unlock of a line with no LPO in flight")
+	}
+	m.Locks--
+}
 
 // Table is the line-metadata registry for the whole hierarchy.
 type Table struct {
@@ -52,12 +73,12 @@ func (t *Table) Get(line arch.LineAddr) *Meta {
 // Peek returns the metadata for line without creating it.
 func (t *Table) Peek(line arch.LineAddr) *Meta { return t.meta[line] }
 
-// LockedCount returns how many lines currently have the LockBit set
-// (diagnostics and invariant tests).
+// LockedCount returns how many lines are currently pinned by in-flight
+// LPOs (diagnostics and invariant tests).
 func (t *Table) LockedCount() int {
 	n := 0
 	for _, m := range t.meta {
-		if m.LockBit {
+		if m.Locked() {
 			n++
 		}
 	}

@@ -77,7 +77,7 @@ func (e *Engine) onPersistentAccess(t *sim.Thread, ts *threadState, line arch.Li
 	e.noteWrite(t, r, line)
 }
 
-// initiateLPO allocates a log entry, sets the LockBit, and sends the old
+// initiateLPO allocates a log entry, pins the line, and sends the old
 // line value toward the WPQ. All of a record's persist operations are
 // routed via the record's header line so they are accepted in allocation
 // order, keeping the record contiguous for recovery.
@@ -117,21 +117,23 @@ func (e *Engine) initiateLPO(t *sim.Thread, ts *threadState, r *regionState, lin
 		r.rec = nil
 	}
 
-	meta.LockBit = true
+	meta.Lock()
 	payload := e.m.Heap.ReadLine(line) // old value, pre-store
 	e.m.St.Inc(stats.LPOsIssued)
 	e.emit(trace.LPOIssue, r.rid, line, 0)
 	entry := &memdev.Entry{Kind: memdev.KindLPO, RID: r.rid, Dst: logLine, Subject: line, Payload: payload}
 	e.m.Fabric.SubmitPersistOn(e.m.Fabric.ChannelFor(rec.header), entry, func(uint64) {
-		e.lpoAccepted(r, rec, line, logLine, meta)
+		e.lpoAccepted(r, rec, line, logLine, meta, payload)
 	})
 }
 
 // lpoAccepted runs at WPQ acceptance: the LPO is complete (§4.1). The
-// LockBit clears, the LH-WPQ header gains the entry, DPO dropping fires,
-// and waiting DPOs for the line become eligible.
-func (e *Engine) lpoAccepted(r *regionState, rec *record, line, logLine arch.LineAddr, meta *cache.Meta) {
-	meta.LockBit = false
+// line's lock count drops, the LH-WPQ header gains the entry (with the
+// entry's CRC, so recovery can detect a torn persist), DPO dropping
+// fires, and — once no LPO for the line remains in flight — waiting DPOs
+// for the line become eligible.
+func (e *Engine) lpoAccepted(r *regionState, rec *record, line, logLine arch.LineAddr, meta *cache.Meta, payload []byte) {
+	meta.Unlock()
 	e.emit(trace.LPOAccept, r.rid, line, 0)
 	if e.opt.DPODropping {
 		e.m.Fabric.DropDPOFor(line)
@@ -139,6 +141,8 @@ func (e *Engine) lpoAccepted(r *regionState, rec *record, line, logLine arch.Lin
 
 	rec.h.DataLines = append(rec.h.DataLines, line)
 	rec.h.LogLines = append(rec.h.LogLines, logLine)
+	rec.h.EntryCRCs = append(rec.h.EntryCRCs, wal.Checksum(payload))
+	rec.h.PayloadCRC = wal.ChecksumUpdate(rec.h.PayloadCRC, payload)
 	rec.accepted++
 	if rec.accepted == wal.RecordEntries {
 		// Every entry of the closing record is persistence-domain
@@ -146,7 +150,7 @@ func (e *Engine) lpoAccepted(r *regionState, rec *record, line, logLine arch.Lin
 		// LH-WPQ slot frees once the WPQ has accepted the header, so the
 		// header contents never leave the persistence domain.
 		lh := e.homeLH(r.rid)
-		payload := wal.EncodeHeader(r.rid, rec.h.DataLines)
+		payload := wal.EncodeHeaderChecked(r.rid, rec.h.DataLines, rec.h.PayloadCRC)
 		hdr := &memdev.Entry{Kind: memdev.KindLogHeader, RID: r.rid, Dst: rec.header, Subject: rec.header, Payload: payload}
 		headerAddr := rec.header
 		e.m.Fabric.SubmitPersistOn(e.m.Fabric.ChannelFor(rec.header), hdr, func(uint64) {
@@ -158,7 +162,7 @@ func (e *Engine) lpoAccepted(r *regionState, rec *record, line, logLine arch.Lin
 }
 
 // lineUnlocked re-checks DPO eligibility for every region holding a CLPtr
-// to line, now that its LockBit cleared. Regions are visited in RID order
+// to line, now that an LPO for it completed. Regions are visited in RID order
 // so that same-line DPO submissions — and therefore the PM image — stay
 // deterministic (map iteration order is not).
 func (e *Engine) lineUnlocked(line arch.LineAddr) {
@@ -212,15 +216,17 @@ func (e *Engine) noteWrite(t *sim.Thread, r *regionState, line arch.LineAddr) {
 	}
 }
 
-// maybeIssueDPO initiates the DPO for slot s when permitted: the line's
-// LPO has completed (LockBit clear), no DPO is in flight, and either the
-// coalescing distance has been reached or the region has ended (§4.6.2).
+// maybeIssueDPO initiates the DPO for slot s when permitted: every LPO
+// logging the line has completed (lock count zero — the undo material
+// for each value the DPO may persist is persistence-domain resident),
+// no DPO is in flight, and either the coalescing distance has been
+// reached or the region has ended (§4.6.2).
 func (e *Engine) maybeIssueDPO(r *regionState, s *CLSlot) {
 	if !s.NeedIssue || s.Outstanding > 0 {
 		return
 	}
 	meta := e.m.Caches.Table().Get(s.Line)
-	if meta.LockBit {
+	if meta.Locked() {
 		return
 	}
 	done := r.cl != nil && r.cl.Done

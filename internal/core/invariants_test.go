@@ -39,7 +39,7 @@ func TestRuntimeInvariants(t *testing.T) {
 			}
 			for _, s := range r.cl.Slots {
 				meta := m.Caches.Table().Peek(s.Line)
-				if meta != nil && meta.LockBit && !m.Caches.Present(s.Line) {
+				if meta != nil && meta.Locked() && !m.Caches.Present(s.Line) {
 					violations = append(violations, fmt.Sprintf("locked line evicted: %#x", uint64(s.Line)))
 				}
 			}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"asap/internal/arch"
 	"asap/internal/memdev"
+	"asap/internal/wal"
 )
 
 // DepSnapshot is one persisted Dependence List entry as recovery sees it
@@ -16,11 +18,16 @@ type DepSnapshot struct {
 }
 
 // LogExtent describes one thread's log buffer so recovery can scan it for
-// persisted record headers.
+// persisted record headers. Head and Tail are the absolute LogHead/LogTail
+// offsets at the crash: together they bound the live (allocated, not yet
+// freed) records, which recovery uses to tell lost undo material from
+// stale bytes of already-committed regions.
 type LogExtent struct {
 	Thread int
 	Base   uint64
 	Size   uint64
+	Head   uint64
+	Tail   uint64
 }
 
 // CrashState is everything that survives a power failure: the flushed PM
@@ -55,9 +62,71 @@ func (e *Engine) Crash() *CrashState {
 	}
 	sort.Slice(cs.Deps, func(i, j int) bool { return cs.Deps[i].RID < cs.Deps[j].RID })
 	for tid, ts := range e.threads {
-		cs.Logs = append(cs.Logs, LogExtent{Thread: tid, Base: ts.log.Base(), Size: ts.log.Size()})
+		cs.Logs = append(cs.Logs, LogExtent{
+			Thread: tid,
+			Base:   ts.log.Base(),
+			Size:   ts.log.Size(),
+			Head:   ts.log.Head(),
+			Tail:   ts.log.Tail(),
+		})
 	}
 	sort.Slice(cs.Logs, func(i, j int) bool { return cs.Logs[i].Thread < cs.Logs[j].Thread })
 	e.m.K.Halt()
 	return cs
+}
+
+// UncommittedRIDs returns the regions still uncommitted right now, in RID
+// order. The crash-consistency harness uses it to scope fault injection to
+// state recovery is responsible for.
+func (e *Engine) UncommittedRIDs() []arch.RID {
+	out := make([]arch.RID, 0, len(e.regions))
+	for rid := range e.regions {
+		out = append(out, rid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks the crash state's structural integrity before recovery
+// reads it: a CrashState deserialized from a damaged or hostile file must
+// fail here with an error, never panic deeper in. It checks only shape —
+// content corruption (torn headers, damaged log entries) is the recovery
+// validation pass's job.
+func (cs *CrashState) Validate() error {
+	if cs == nil {
+		return fmt.Errorf("core: nil crash state")
+	}
+	if cs.Image == nil {
+		return fmt.Errorf("core: crash state has no persisted image")
+	}
+	for i, h := range cs.Headers {
+		if h == nil {
+			return fmt.Errorf("core: LH-WPQ header %d is nil", i)
+		}
+		if len(h.DataLines) != len(h.LogLines) {
+			return fmt.Errorf("core: LH-WPQ header %d for %s: %d data lines vs %d log lines",
+				i, h.RID, len(h.DataLines), len(h.LogLines))
+		}
+		if len(h.DataLines) > memdev.RecordEntries {
+			return fmt.Errorf("core: LH-WPQ header %d for %s holds %d entries (max %d)",
+				i, h.RID, len(h.DataLines), memdev.RecordEntries)
+		}
+		if len(h.EntryCRCs) != 0 && len(h.EntryCRCs) != len(h.DataLines) {
+			return fmt.Errorf("core: LH-WPQ header %d for %s: %d entry CRCs vs %d entries",
+				i, h.RID, len(h.EntryCRCs), len(h.DataLines))
+		}
+	}
+	for _, ext := range cs.Logs {
+		if ext.Size == 0 || ext.Size%wal.RecordBytes != 0 {
+			return fmt.Errorf("core: thread %d log size %d is not a whole number of records", ext.Thread, ext.Size)
+		}
+		if ext.Base+ext.Size < ext.Base {
+			return fmt.Errorf("core: thread %d log extent overflows the address space", ext.Thread)
+		}
+		if ext.Tail < ext.Head || ext.Tail-ext.Head > ext.Size {
+			return fmt.Errorf("core: thread %d log offsets head %d / tail %d inconsistent with size %d",
+				ext.Thread, ext.Head, ext.Tail, ext.Size)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,282 @@
+// Package crashtest is a systematic crash-consistency checker: it runs
+// real workloads on the simulated machine, injects a power failure at a
+// chosen cycle with a seeded mixture of persistence-domain faults (torn
+// persists, dropped WPQ entries, reordered flushes, log-media bit flips),
+// recovers through the public crash path — serialized crash state,
+// LoadCrashState, Recover, NewSystemFromCrash — and verifies workload
+// invariants against the recovered image and the rebooted machine.
+//
+// The possible verdicts form the checker's contract. With no faults, a
+// case must come back clean. With faults, recovery may either repair the
+// damage (recovered: every invariant still holds) or refuse with a
+// corruption error (detected: fail-stop is correct when undo material is
+// gone). What it must never do is claim success over a broken image —
+// that is a violation, and a failing case shrinks to a minimal fault set
+// by deterministic replay.
+package crashtest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"asap"
+	"asap/internal/core"
+	"asap/internal/faults"
+	"asap/internal/machine"
+	"asap/internal/recovery"
+	"asap/internal/workload"
+)
+
+// Case is one crash-consistency experiment.
+type Case struct {
+	// Workload names the structure under test (see Workloads).
+	Workload string `json:"workload"`
+	// CrashAt is the power-failure cycle, measured from the start of the
+	// workload's measured phase.
+	CrashAt uint64 `json:"crash_at"`
+	// Seed drives both the workload schedule and the fault decisions.
+	Seed int64 `json:"seed"`
+	// Mix is the fault mixture injected at the crash flush.
+	Mix faults.Mix `json:"mix"`
+	// SkipValidation recovers without the integrity pass — the deliberate
+	// negative control proving the checker notices when validation is off.
+	SkipValidation bool `json:"skip_validation,omitempty"`
+	// Replay, when non-nil, inflicts exactly these fault events instead of
+	// drawing from Mix: the shrinking mode.
+	Replay []faults.Event `json:"replay,omitempty"`
+}
+
+func (c Case) String() string {
+	return fmt.Sprintf("%s crash@%d seed %d mix %s", c.Workload, c.CrashAt, c.Seed, c.Mix)
+}
+
+// Verdict classifies a case's outcome.
+type Verdict string
+
+// The verdicts.
+const (
+	// VerdictClean: no fault fired, recovery succeeded, invariants hold.
+	VerdictClean Verdict = "clean"
+	// VerdictRecovered: faults fired, recovery succeeded, invariants hold.
+	VerdictRecovered Verdict = "recovered"
+	// VerdictDetected: faults fired and recovery refused with a corruption
+	// error, leaving the image untouched — the correct fail-stop outcome
+	// when undo material is damaged.
+	VerdictDetected Verdict = "detected"
+	// VerdictViolation: recovery claimed success but an invariant is
+	// broken, or it reported corruption in an undamaged image.
+	VerdictViolation Verdict = "violation"
+	// VerdictError: the harness itself failed (simulator panic, unloadable
+	// state) — neither a pass nor a crash-consistency finding.
+	VerdictError Verdict = "error"
+)
+
+// Outcome is the result of one case.
+type Outcome struct {
+	Case    Case    `json:"case"`
+	Verdict Verdict `json:"verdict"`
+	// Faults is every injected event, in decision order.
+	Faults []faults.Event `json:"faults,omitempty"`
+	// Detail carries the invariant violation or the recovery/harness error.
+	Detail string `json:"detail,omitempty"`
+	// Report is the recovery summary when recovery ran to completion.
+	Report *asap.RecoveryReport `json:"report,omitempty"`
+	// Shrunk is the minimal fault subset still producing the violation,
+	// filled by Shrink for violation outcomes.
+	Shrunk []faults.Event `json:"shrunk,omitempty"`
+}
+
+// machineConfig is the fixed machine for every case: small enough to run
+// hundreds of cases quickly, slow enough PM that crash points land inside
+// long uncommitted windows.
+func machineConfig() machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 4
+	cfg.Mem.Controllers, cfg.Mem.ChannelsPerMC = 1, 2
+	cfg.Mem.WPQEntries = 8
+	cfg.Mem.PMWriteCycles = 900
+	return cfg
+}
+
+// workloadConfig is the fixed pre-crash workload shape.
+func workloadConfig(seed int64, crashed func(start uint64)) workload.Config {
+	return workload.Config{
+		ValueBytes:     64,
+		InitialItems:   16,
+		Threads:        3,
+		OpsPerThread:   40,
+		Seed:           seed,
+		SetupInRegions: true,
+		MeasureStarted: crashed,
+	}
+}
+
+// RunCase executes one crash-consistency experiment end to end.
+func RunCase(c Case) Outcome {
+	out := Outcome{Case: c}
+
+	run, err := newWorkloadRun(c.Workload)
+	if err != nil {
+		out.Verdict, out.Detail = VerdictError, err.Error()
+		return out
+	}
+
+	var inj *faults.Injector
+	if c.Replay != nil {
+		inj = faults.Replay(c.Replay)
+	} else {
+		inj = faults.New(c.Seed, c.Mix)
+	}
+
+	m := machine.New(machineConfig())
+	e := core.NewEngine(m, core.DefaultOptions())
+	m.Fabric.SetFaultInjector(inj)
+
+	env := &workload.Env{M: m, S: e}
+	var cs *core.CrashState
+	crash := func() {
+		// Scope damage to the uncommitted regions: recovery owes nothing
+		// for committed data (that is the media's durability problem, not
+		// crash consistency), and an unscoped fault there would fail every
+		// mix against an invariant no log can protect.
+		inj.SetScope(e.UncommittedRIDs())
+		cs = e.Crash()
+	}
+	wcfg := workloadConfig(c.Seed, func(start uint64) {
+		m.K.Schedule(start+c.CrashAt, crash)
+	})
+	func() {
+		defer func() { _ = recover() }() // a halt mid-run may strand the driver
+		workload.Run(env, run.bench(), wcfg)
+	}()
+	if cs == nil {
+		// The run drained before the crash point: crash the idle machine.
+		crash()
+	}
+
+	// Bit-flip media errors hit the log region after the flush, modelling
+	// decay the header and payload checksums exist to catch.
+	var ranges []faults.Range
+	for _, ext := range cs.Logs {
+		ranges = append(ranges, faults.Range{Base: ext.Base, Size: ext.Size})
+	}
+	inj.FlipBits(cs.Image, ranges)
+	out.Faults = inj.Events()
+
+	// From here on, only the public API touches the state — exactly what a
+	// real post-crash process gets.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cs); err != nil {
+		out.Verdict, out.Detail = VerdictError, "encoding crash state: "+err.Error()
+		return out
+	}
+	pub, err := asap.LoadCrashState(&buf)
+	if err != nil {
+		out.Verdict, out.Detail = VerdictError, err.Error()
+		return out
+	}
+
+	rep, err := pub.RecoverWithOptions(asap.RecoverOptions{SkipValidation: c.SkipValidation})
+	if err != nil {
+		var ce *recovery.CorruptionError
+		if errors.As(err, &ce) {
+			if len(out.Faults) > 0 {
+				out.Verdict, out.Detail = VerdictDetected, err.Error()
+			} else {
+				out.Verdict, out.Detail = VerdictViolation, "corruption reported without any injected fault: "+err.Error()
+			}
+			return out
+		}
+		out.Verdict, out.Detail = VerdictError, err.Error()
+		return out
+	}
+	out.Report = rep
+
+	if problem := run.verify(pub.ReadUint64); problem != "" {
+		out.Verdict, out.Detail = VerdictViolation, problem
+		return out
+	}
+
+	// Reboot on the recovered image and keep going: recovery must leave a
+	// machine the workload can actually continue on.
+	sysCfg := asap.DefaultConfig()
+	sysCfg.Cores = 2
+	sysCfg.MemoryControllers, sysCfg.ChannelsPerMC = 1, 1
+	sys2, err := asap.NewSystemFromCrash(sysCfg, pub)
+	if err != nil {
+		out.Verdict, out.Detail = VerdictError, "reboot: "+err.Error()
+		return out
+	}
+	if problem := run.post(sys2, c.Seed+1); problem != "" {
+		out.Verdict, out.Detail = VerdictViolation, "after reboot: "+problem
+		return out
+	}
+
+	if len(out.Faults) > 0 {
+		out.Verdict = VerdictRecovered
+	} else {
+		out.Verdict = VerdictClean
+	}
+	return out
+}
+
+// Shrink minimizes the fault set behind a violation by ddmin: it replays
+// deterministic subsets of events (injection acts only at the crash flush,
+// so the pre-crash execution is identical) and returns the smallest subset
+// still producing a violation. budget bounds the number of replays.
+func Shrink(c Case, events []faults.Event, budget int) []faults.Event {
+	fails := func(sub []faults.Event) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		cc := c
+		cc.Replay = sub
+		return RunCase(cc).Verdict == VerdictViolation
+	}
+
+	cur := append([]faults.Event(nil), events...)
+	n := 2
+	for len(cur) > 1 && n <= len(cur) && budget > 0 {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for lo := 0; lo < len(cur); lo += chunk {
+			hi := lo + chunk
+			if hi > len(cur) {
+				hi = len(cur)
+			}
+			complement := append(append([]faults.Event(nil), cur[:lo]...), cur[hi:]...)
+			if len(complement) > 0 && fails(complement) {
+				cur, n, reduced = complement, maxInt(n-1, 2), true
+				break
+			}
+			if fails(cur[lo:hi]) {
+				cur, n, reduced = append([]faults.Event(nil), cur[lo:hi]...), 2, true
+				break
+			}
+		}
+		if !reduced {
+			if n == len(cur) {
+				break
+			}
+			n = minInt(n*2, len(cur))
+		}
+	}
+	return cur
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

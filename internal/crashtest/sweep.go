@@ -1,0 +1,147 @@
+package crashtest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"asap/internal/faults"
+	"asap/internal/runner"
+)
+
+// SweepConfig shapes a systematic sweep: the cross product of workloads,
+// fault mixes and derived crash points.
+type SweepConfig struct {
+	// Workloads to sweep; empty means all of Workloads().
+	Workloads []string
+	// Mixes to sweep; empty means DefaultMixes().
+	Mixes []faults.Mix
+	// Seed derives every crash point and per-case fault seed.
+	Seed int64
+	// Points is the number of crash points per (workload, mix) pair.
+	Points int
+	// CrashLo/CrashHi bound the crash cycle, measured from the start of
+	// the measured phase; points spread log-uniformly between them.
+	CrashLo, CrashHi uint64
+	// Workers sizes the runner pool (0 = GOMAXPROCS).
+	Workers int
+	// SkipValidation runs every case without recovery's integrity pass.
+	SkipValidation bool
+	// ShrinkBudget, when > 0, bounds the replays spent minimizing each
+	// violation's fault set.
+	ShrinkBudget int
+}
+
+// DefaultMixes is the standard sweep mixture set: the no-fault control,
+// each fault class alone, and a combined load.
+func DefaultMixes() []faults.Mix {
+	return []faults.Mix{
+		{},
+		{TornPct: 0.3},
+		{DropPct: 0.3},
+		{ReorderPct: 0.5},
+		{BitFlips: 1},
+		{TornPct: 0.2, DropPct: 0.2, ReorderPct: 0.3, BitFlips: 1},
+	}
+}
+
+// Summary aggregates a sweep.
+type Summary struct {
+	Total    int             `json:"total"`
+	Counts   map[Verdict]int `json:"counts"`
+	Outcomes []Outcome       `json:"outcomes"`
+}
+
+// Bad counts the outcomes that must fail a CI gate: invariant violations
+// and harness errors.
+func (s *Summary) Bad() int {
+	return s.Counts[VerdictViolation] + s.Counts[VerdictError]
+}
+
+// Violations returns the violation outcomes.
+func (s *Summary) Violations() []Outcome {
+	var out []Outcome
+	for _, o := range s.Outcomes {
+		if o.Verdict == VerdictViolation {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Cases materializes the sweep's case list deterministically from the
+// configuration: same config, same cases, regardless of worker count.
+func (cfg SweepConfig) Cases() ([]Case, error) {
+	workloads := cfg.Workloads
+	if len(workloads) == 0 {
+		workloads = Workloads()
+	}
+	for _, w := range workloads {
+		if _, err := newWorkloadRun(w); err != nil {
+			return nil, err
+		}
+	}
+	mixes := cfg.Mixes
+	if len(mixes) == 0 {
+		mixes = DefaultMixes()
+	}
+	points := cfg.Points
+	if points <= 0 {
+		points = 8
+	}
+	lo, hi := cfg.CrashLo, cfg.CrashHi
+	if lo == 0 {
+		lo = 900
+	}
+	if hi <= lo {
+		hi = 91_000
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	span := float64(hi) / float64(lo)
+	var cases []Case
+	for _, w := range workloads {
+		for _, mix := range mixes {
+			for p := 0; p < points; p++ {
+				at := uint64(float64(lo) * math.Pow(span, rng.Float64()))
+				cases = append(cases, Case{
+					Workload:       w,
+					CrashAt:        at,
+					Seed:           cfg.Seed + int64(len(cases))*7919,
+					Mix:            mix,
+					SkipValidation: cfg.SkipValidation,
+				})
+			}
+		}
+	}
+	return cases, nil
+}
+
+// Sweep runs the whole case matrix on a worker pool and aggregates the
+// outcomes, shrinking each violation's fault set when a budget is given.
+// Outcomes keep the submission order of Cases.
+func Sweep(cfg SweepConfig) (*Summary, error) {
+	cases, err := cfg.Cases()
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]runner.Job[Outcome], len(cases))
+	for i, c := range cases {
+		c := c
+		jobs[i] = runner.Job[Outcome]{Label: c.String(), Run: func() Outcome { return RunCase(c) }}
+	}
+	outcomes, err := runner.Collect(runner.New(cfg.Workers), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("crashtest: sweep: %w", err)
+	}
+
+	sum := &Summary{Total: len(outcomes), Counts: make(map[Verdict]int), Outcomes: outcomes}
+	for i := range outcomes {
+		o := &sum.Outcomes[i]
+		if o.Verdict == VerdictViolation && cfg.ShrinkBudget > 0 && len(o.Faults) > 1 {
+			o.Shrunk = Shrink(o.Case, o.Faults, cfg.ShrinkBudget)
+		}
+		sum.Counts[o.Verdict]++
+	}
+	return sum, nil
+}

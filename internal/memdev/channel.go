@@ -22,6 +22,7 @@ type Channel struct {
 	arrivals      []*arrival
 
 	lh *LHWPQ
+	fi FaultInjector // consulted at ADR flush; nil = ideal ADR
 }
 
 type arrival struct {
@@ -186,12 +187,27 @@ func (c *Channel) dropWhere(match func(*Entry) bool, counter string) int {
 // FlushToImage models ADR on power failure: every accepted entry (queued or
 // in flight) is written to the PM image. Arrival-queue entries were never
 // accepted by the WPQ, so they are lost — exactly the §4.1 completion rule.
+// An installed FaultInjector may reorder, tear, or drop the flushed writes.
 func (c *Channel) FlushToImage() {
-	if c.inflight != nil {
-		c.pm.Write(c.inflight.Dst, c.inflight.Payload)
+	entries := c.QueuedEntries()
+	if c.fi == nil {
+		for _, e := range entries {
+			c.pm.Write(e.Dst, e.Payload)
+		}
+		return
 	}
-	for _, e := range c.queue {
-		c.pm.Write(e.Dst, e.Payload)
+	order := c.fi.FlushOrder(c.id, entries)
+	if order == nil {
+		order = make([]int, len(entries))
+		for i := range order {
+			order[i] = i
+		}
+	}
+	for _, i := range order {
+		e := entries[i]
+		if payload, persist := c.fi.FlushPayload(c.id, e, c.pm.Read(e.Dst)); persist {
+			c.pm.Write(e.Dst, payload)
+		}
 	}
 }
 

@@ -1,0 +1,30 @@
+package memdev
+
+// FaultInjector intercepts the ADR crash flush, modelling failure modes a
+// real power loss can expose: torn 64 B persists (a partial cache-line
+// write when the capacitors run out), entries that never reach media, and
+// flush reordering. A nil injector (the default) gives the ideal ADR of
+// the paper: every accepted entry reaches the PM image intact, in order.
+//
+// Injectors act only at crash time, so installing one never perturbs the
+// simulated execution leading up to the crash — a property the
+// crash-consistency checker relies on for deterministic fault replay.
+type FaultInjector interface {
+	// FlushOrder may permute the order in which a channel's accepted
+	// entries (head first) are flushed to the image. It returns a
+	// permutation of [0, len(entries)); nil keeps drain order.
+	FlushOrder(channel int, entries []*Entry) []int
+	// FlushPayload returns the bytes that actually reach the image for
+	// entry e, given the line's current image content (for torn-write
+	// modelling), and whether the write happens at all. Returning
+	// (nil, false) drops the entry.
+	FlushPayload(channel int, e *Entry, current []byte) (payload []byte, persist bool)
+}
+
+// SetFaultInjector installs fi on every channel's crash-flush path (nil
+// restores ideal ADR behavior).
+func (f *Fabric) SetFaultInjector(fi FaultInjector) {
+	for _, ch := range f.channels {
+		ch.fi = fi
+	}
+}

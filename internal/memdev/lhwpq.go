@@ -19,6 +19,13 @@ type LogHeader struct {
 	DataLines []arch.LineAddr
 	// LogLines[i] is the PM line log entry i was written to.
 	LogLines []arch.LineAddr
+	// EntryCRCs[i] is the CRC-32 of log entry i's payload, captured at
+	// WPQ acceptance so recovery can detect a torn or bit-flipped entry.
+	EntryCRCs []uint32
+	// PayloadCRC is the running CRC-32 over the accepted entries'
+	// payloads in order — the value the record's header line carries when
+	// it closes.
+	PayloadCRC uint32
 }
 
 // RecordEntries is the number of data entries per log record (Figure 5a:
@@ -34,6 +41,8 @@ func (h *LogHeader) clone() *LogHeader {
 		HeaderAddr: h.HeaderAddr,
 		DataLines:  append([]arch.LineAddr(nil), h.DataLines...),
 		LogLines:   append([]arch.LineAddr(nil), h.LogLines...),
+		EntryCRCs:  append([]uint32(nil), h.EntryCRCs...),
+		PayloadCRC: h.PayloadCRC,
 	}
 }
 

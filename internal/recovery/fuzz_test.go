@@ -2,6 +2,10 @@ package recovery
 
 import (
 	"encoding/binary"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 
 	"asap/internal/arch"
@@ -11,6 +15,36 @@ import (
 	"asap/internal/sim"
 	"asap/internal/workload"
 )
+
+// fuzzSeed returns the crash-fuzz seed: ASAP_FUZZ_SEED when set (so a CI
+// failure can be reproduced locally with the exact same crash schedule),
+// otherwise a fixed default. The seed is always logged so any failure
+// message can be paired with it.
+func fuzzSeed(t *testing.T) int64 {
+	seed := int64(1)
+	if env := os.Getenv("ASAP_FUZZ_SEED"); env != "" {
+		v, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("ASAP_FUZZ_SEED=%q is not an integer: %v", env, err)
+		}
+		seed = v
+	}
+	t.Logf("fuzz seed %d (override with ASAP_FUZZ_SEED)", seed)
+	return seed
+}
+
+// fuzzCrashPoints derives n crash cycles from the seed, log-uniformly
+// spread over [lo, hi) so both early (dense WPQ traffic) and late (deep
+// dependence chains) windows are hit.
+func fuzzCrashPoints(seed int64, n int, lo, hi uint64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint64, n)
+	for i := range out {
+		span := float64(hi) / float64(lo)
+		out[i] = uint64(float64(lo) * math.Pow(span, rng.Float64()))
+	}
+	return out
+}
 
 // readU64 reads a little-endian uint64 from the persisted image.
 func readU64(img *memdev.Image, addr uint64) uint64 {
@@ -56,8 +90,8 @@ func checkPersistedQueue(t *testing.T, img *memdev.Image, q *workload.Queue) {
 // crashes at pseudo-random points, recovers, and validates the persisted
 // structure — end-to-end over workload, engine, WAL, WPQ and recovery.
 func TestCrashRecoveryFuzzQueue(t *testing.T) {
-	crashPoints := []uint64{900, 2_000, 3_500, 5_200, 7_700, 11_000, 16_000,
-		23_000, 31_000, 47_000, 66_000, 91_000}
+	seed := fuzzSeed(t)
+	crashPoints := fuzzCrashPoints(seed, 12, 900, 91_000)
 	caught := 0
 	for _, at := range crashPoints {
 		cfg := machine.DefaultConfig()
@@ -97,12 +131,13 @@ func TestCrashRecoveryFuzzQueue(t *testing.T) {
 			caught++
 		}
 		if _, err := Recover(cs); err != nil {
-			t.Fatalf("crash@%d: recovery failed: %v", at, err)
+			t.Fatalf("seed %d crash@%d: recovery failed: %v", seed, at, err)
 		}
+		t.Logf("seed %d crash@%d", seed, at)
 		checkPersistedQueue(t, cs.Image, q)
 	}
 	if caught < 3 {
-		t.Fatalf("only %d/%d crash points caught in-flight regions; fuzz too weak", caught, len(crashPoints))
+		t.Fatalf("seed %d: only %d/%d crash points caught in-flight regions; fuzz too weak", seed, caught, len(crashPoints))
 	}
 }
 
@@ -110,7 +145,8 @@ func TestCrashRecoveryFuzzQueue(t *testing.T) {
 // bucket chain must be intact (nodes hash to their bucket, no duplicates)
 // and the stripe counters must equal the reachable nodes.
 func TestCrashRecoveryFuzzHashMap(t *testing.T) {
-	for _, at := range []uint64{1_500, 6_000, 20_000, 55_000} {
+	seed := fuzzSeed(t)
+	for _, at := range fuzzCrashPoints(seed+1, 4, 1_500, 55_000) {
 		cfg := machine.DefaultConfig()
 		cfg.Cores = 4
 		cfg.Mem.Controllers, cfg.Mem.ChannelsPerMC = 1, 2
@@ -134,8 +170,9 @@ func TestCrashRecoveryFuzzHashMap(t *testing.T) {
 			cs = e.Crash()
 		}
 		if _, err := Recover(cs); err != nil {
-			t.Fatalf("crash@%d: %v", at, err)
+			t.Fatalf("seed %d crash@%d: %v", seed, at, err)
 		}
+		t.Logf("seed %d crash@%d", seed, at)
 		checkPersistedHashMap(t, cs.Image, h)
 	}
 }

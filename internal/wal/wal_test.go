@@ -1,6 +1,8 @@
 package wal
 
 import (
+	"encoding/binary"
+	"errors"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -127,18 +129,212 @@ func TestHeaderRoundTrip(t *testing.T) {
 	}
 }
 
-func TestDecodeRejectsGarbage(t *testing.T) {
-	if _, _, ok := DecodeHeader(make([]byte, arch.LineSize)); ok {
-		t.Fatal("zero line decoded as header")
+// TestDecodeRejectsMalformedHeaders is the table of malformed header
+// lines DecodeHeader must reject — and, via ParseHeader, classify. Before
+// the checksum was added, any garbage line with 0xA5 at byte 8 and a
+// plausible count parsed as a valid header.
+func TestDecodeRejectsMalformedHeaders(t *testing.T) {
+	valid := func() []byte {
+		return EncodeHeaderChecked(arch.MakeRID(2, 9), []arch.LineAddr{64, 128, 192}, 0xDEADBEEF)
 	}
-	bad := EncodeHeader(arch.MakeRID(0, 1), []arch.LineAddr{64})
-	bad[9] = 200 // invalid count
-	if _, _, ok := DecodeHeader(bad); ok {
-		t.Fatal("invalid count accepted")
+	cases := []struct {
+		name    string
+		line    func() []byte
+		wantErr error
+	}{
+		{"zero line", func() []byte { return make([]byte, arch.LineSize) }, ErrNotHeader},
+		{"short line", func() []byte { return []byte{1, 2, 3} }, ErrShortLine},
+		{"magic only, garbage elsewhere", func() []byte {
+			b := make([]byte, arch.LineSize)
+			b[8] = 0xA5
+			b[0] = 7 // plausible RID
+			b[9] = 2 // plausible count
+			return b
+		}, ErrChecksum},
+		{"count zero", func() []byte {
+			b := valid()
+			b[9] = 0
+			crcPatch(b)
+			return b
+		}, ErrBadCount},
+		{"count too large", func() []byte {
+			b := valid()
+			b[9] = RecordEntries + 1
+			crcPatch(b)
+			return b
+		}, ErrBadCount},
+		{"no-region RID", func() []byte {
+			b := valid()
+			for i := 0; i < 8; i++ {
+				b[i] = 0
+			}
+			crcPatch(b)
+			return b
+		}, ErrBadRID},
+		{"reserved byte 14 set", func() []byte {
+			b := valid()
+			b[14] = 1
+			crcPatch(b)
+			return b
+		}, ErrReserved},
+		{"reserved byte 15 set", func() []byte {
+			b := valid()
+			b[15] = 0x55
+			crcPatch(b)
+			return b
+		}, ErrReserved},
+		{"unknown flag bits", func() []byte {
+			b := valid()
+			b[62] |= 0x80
+			crcPatch(b)
+			return b
+		}, ErrReserved},
+		{"reserved byte 63 set", func() []byte {
+			b := valid()
+			b[63] = 0xFF
+			crcPatch(b)
+			return b
+		}, ErrReserved},
+		{"flipped RID bit", func() []byte {
+			b := valid()
+			b[3] ^= 0x10
+			return b
+		}, ErrChecksum},
+		{"flipped entry-address bit", func() []byte {
+			b := valid()
+			b[20] ^= 0x01
+			return b
+		}, ErrChecksum},
+		{"torn mid-line (tail zeroed)", func() []byte {
+			b := valid()
+			for i := 24; i < arch.LineSize; i++ {
+				b[i] = 0
+			}
+			return b
+		}, ErrChecksum},
+		{"flipped payload-CRC bit", func() []byte {
+			b := valid()
+			b[59] ^= 0x04
+			return b
+		}, ErrChecksum},
 	}
-	short := []byte{1, 2, 3}
-	if _, _, ok := DecodeHeader(short); ok {
-		t.Fatal("short line accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			line := tc.line()
+			if _, _, ok := DecodeHeader(line); ok {
+				t.Fatal("malformed header accepted")
+			}
+			if _, err := ParseHeader(line); !errors.Is(err, tc.wantErr) {
+				t.Fatalf("ParseHeader error = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// crcPatch recomputes the header CRC in place so a test can exercise the
+// non-checksum validation rules in isolation.
+func crcPatch(b []byte) {
+	binary.LittleEndian.PutUint32(b[crcOff:], headerChecksum(b))
+}
+
+func TestPayloadCRCRoundTrip(t *testing.T) {
+	crc := ChecksumUpdate(0, make([]byte, arch.LineSize))
+	crc = ChecksumUpdate(crc, []byte{1, 2, 3})
+	buf := EncodeHeaderChecked(arch.MakeRID(1, 4), []arch.LineAddr{256}, crc)
+	h, err := ParseHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.HasPayloadCRC || h.PayloadCRC != crc {
+		t.Fatalf("payload CRC = (%v, %#x), want (true, %#x)", h.HasPayloadCRC, h.PayloadCRC, crc)
+	}
+	plain, err := ParseHeader(EncodeHeader(arch.MakeRID(1, 4), []arch.LineAddr{256}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.HasPayloadCRC {
+		t.Fatal("EncodeHeader must not claim a payload CRC")
+	}
+}
+
+// TestLegacyDecodeAcceptsWhatStrictRejects pins the exact weakness the
+// checksum closes: garbage with a magic byte and plausible count parses
+// under the legacy decode but not the strict one.
+func TestLegacyDecodeAcceptsWhatStrictRejects(t *testing.T) {
+	b := make([]byte, arch.LineSize)
+	b[0] = 9 // nonzero RID
+	b[8] = 0xA5
+	b[9] = 3
+	if _, _, ok := DecodeHeaderLegacy(b); !ok {
+		t.Fatal("legacy decode should accept the garbage line")
+	}
+	if _, _, ok := DecodeHeader(b); ok {
+		t.Fatal("strict decode must reject the garbage line")
+	}
+}
+
+func TestLiveRecordSlots(t *testing.T) {
+	h := heap.New()
+	l := NewThreadLog(h, 3*RecordBytes)
+	var want []arch.LineAddr
+	for i := 0; i < 3; i++ {
+		hdr, _, ok := l.AllocRecord()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		want = append(want, hdr)
+	}
+	got := LiveRecordSlots(l.Base(), l.Size(), l.Head(), l.Tail())
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("live slots = %v, want %v", got, want)
+	}
+
+	// Free the first record: its slot leaves the live set.
+	l.FreeUpTo(uint64(RecordBytes))
+	got = LiveRecordSlots(l.Base(), l.Size(), l.Head(), l.Tail())
+	if !reflect.DeepEqual(got, want[1:]) {
+		t.Fatalf("after free, live slots = %v, want %v", got, want[1:])
+	}
+
+	// Wrap: the freed slot is reused and appears again, after the others.
+	hdr, _, ok := l.AllocRecord()
+	if !ok || hdr != want[0] {
+		t.Fatalf("wrapped alloc = %#x, want %#x", hdr, want[0])
+	}
+	got = LiveRecordSlots(l.Base(), l.Size(), l.Head(), l.Tail())
+	if !reflect.DeepEqual(got, append(append([]arch.LineAddr(nil), want[1:]...), want[0])) {
+		t.Fatalf("after wrap, live slots = %v", got)
+	}
+
+	// Malformed inputs must not scan unboundedly.
+	if s := LiveRecordSlots(0, 0, 0, 1); s != nil {
+		t.Fatalf("size 0 yielded slots %v", s)
+	}
+	if s := LiveRecordSlots(0, RecordBytes, 10, 5); s != nil {
+		t.Fatalf("tail<head yielded slots %v", s)
+	}
+	if s := LiveRecordSlots(0, RecordBytes, 0, 10*RecordBytes); s != nil {
+		t.Fatalf("live>size yielded slots %v", s)
+	}
+}
+
+// TestLiveRecordSlotsMirrorsWrapSkip checks the wrap-skip rule: when the
+// tail skips the remainder of the buffer, the skipped bytes host no slot.
+func TestLiveRecordSlotsMirrorsWrapSkip(t *testing.T) {
+	h := heap.New()
+	l := NewThreadLog(h, 2*RecordBytes)
+	_, e1, _ := l.AllocRecord()
+	l.AllocRecord()
+	l.FreeUpTo(e1)
+	// One live record at slot 1; allocate again — wraps to slot 0.
+	hdr, _, ok := l.AllocRecord()
+	if !ok {
+		t.Fatal("wrap alloc failed")
+	}
+	got := LiveRecordSlots(l.Base(), l.Size(), l.Head(), l.Tail())
+	want := []arch.LineAddr{arch.LineAddr(l.Base() + RecordBytes), hdr}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("live slots = %v, want %v", got, want)
 	}
 }
 
