@@ -7,7 +7,9 @@
 //	asapbench -experiment all -parallel 8         # fan runs across 8 workers
 //	asapbench -experiment fig1 -json timings.json # machine-readable timings
 //
-// Experiments: fig1 fig7 fig8 fig9a fig9b fig10 lhwpq area config all.
+// Experiments: fig1 fig7 fig8 fig9a fig9b fig10 lhwpq area config all,
+// plus "profile" (cycle accounting across schemes; not part of "all" so
+// the default output stays byte-identical with observability off).
 //
 // Every experiment fans its (variant × benchmark) matrix across a worker
 // pool and assembles results in submission order, so the emitted tables
@@ -54,7 +56,8 @@ type timingReport struct {
 }
 
 func run() int {
-	which := flag.String("experiment", "all", "fig1|fig7|fig8|fig9a|fig9b|fig10|lhwpq|area|config|ablation-coalesce|ablation-structs|corun|design|fences|lifetime|numa|scaling|tail|all")
+	which := flag.String("experiment", "all", "fig1|fig7|fig8|fig9a|fig9b|fig10|lhwpq|area|config|ablation-coalesce|ablation-structs|corun|design|fences|lifetime|numa|profile|scaling|tail|all")
+	profBench := flag.String("profile-bench", "Q", "benchmark for -experiment profile")
 	full := flag.Bool("full", false, "paper-scale runs (slower)")
 	chart := flag.Bool("chart", false, "render tables as ASCII bar charts")
 	parallel := flag.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial)")
@@ -109,7 +112,10 @@ func run() int {
 		"ablation-structs": func() {
 			show(experiment.AblationStructures(scale, "Q"))
 		},
-		"corun":    func() { show(experiment.CoRunning(scale)) },
+		"corun": func() { show(experiment.CoRunning(scale)) },
+		// profile is intentionally not in "all": the -experiment all output
+		// is gated byte-identical with observability off.
+		"profile":  func() { fmt.Println(experiment.CycleAccounting(scale, *profBench, 64)) },
 		"design":   func() { show(experiment.DesignChoice(scale)) },
 		"fences":   func() { show(experiment.FenceSweep(scale)) },
 		"lifetime": func() { show(experiment.Lifetime(scale)) },

@@ -4,21 +4,32 @@
 // Usage:
 //
 //	asapsim -bench Q -scheme ASAP -threads 4 -ops 500 -value 64 -pmmult 1
+//
+// Observability (all zero-cost when off):
+//
+//	asapsim -bench Q -scheme ASAP -profile               # cycle accounting table
+//	asapsim -bench Q -scheme ASAP -profile-json p.json   # machine-readable buckets
+//	asapsim -bench Q -scheme ASAP -timeline trace.json   # Perfetto/chrome://tracing
+//	asapsim -bench Q -scheme ASAP -series occ.csv        # occupancy time series
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 
 	"asap/internal/experiment"
+	"asap/internal/obs"
 	"asap/internal/trace"
 	"asap/internal/workload"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	bench := flag.String("bench", "Q", "benchmark: BN BT CT EO HM Q RB SS TPCC")
 	scheme := flag.String("scheme", "ASAP", "scheme: NP SW SW-DPOOnly HWUndo HWRedo ASAP ASAP-Redo")
 	threads := flag.Int("threads", 4, "worker threads")
@@ -29,26 +40,56 @@ func main() {
 	lhwpq := flag.Int("lhwpq", 0, "LH-WPQ entries per channel (0 = default 128)")
 	verbose := flag.Bool("v", false, "dump all hardware counters")
 	traceN := flag.Int("trace", 0, "print the last N protocol events (ASAP only)")
+	profile := flag.Bool("profile", false, "print the per-thread cycle-accounting table")
+	profileJSON := flag.String("profile-json", "", "write the cycle accounting as JSON to this path")
+	timeline := flag.String("timeline", "", "write a Perfetto/Chrome trace.json timeline to this path")
+	series := flag.String("series", "", "write the occupancy time series to this path (.json for JSON, else CSV)")
+	seriesInterval := flag.Uint64("series-interval", 1000, "time-series sampling interval in cycles")
 	flag.Parse()
 
 	if workload.ByName(*bench) == nil {
 		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
-		os.Exit(2)
+		return 2
 	}
 	scale := experiment.Scale{
 		Threads:      *threads,
 		OpsPerThread: *ops,
 		InitialItems: *items,
 	}
+
 	var buf *trace.Buffer
-	if *traceN > 0 {
+	printTrace := *traceN > 0
+	if printTrace {
 		buf = trace.NewBuffer(*traceN)
+	} else if *timeline != "" {
+		// The timeline wants protocol events even when none are printed.
+		buf = trace.NewBuffer(1 << 16)
 	}
+
+	// Attach the observability session only when asked: the disabled path
+	// must leave the run byte-identical.
+	var sess *obs.Session
+	var prof *obs.Profiler
+	var rec *obs.Recorder
+	if *profile || *profileJSON != "" || *timeline != "" {
+		prof = obs.NewProfiler()
+		if *timeline != "" {
+			prof.EnableSpans(0)
+		}
+	}
+	if *series != "" || *timeline != "" {
+		rec = obs.NewRecorder(*seriesInterval, 0)
+	}
+	if prof != nil || rec != nil {
+		sess = &obs.Session{Prof: prof, Rec: rec}
+	}
+
 	res := experiment.Run(experiment.Variant{
 		Scheme: *scheme,
 		PMMult: *pmmult,
 		LHWPQ:  *lhwpq,
 		Trace:  buf,
+		Obs:    sess,
 	}, *bench, scale, *value)
 
 	fmt.Printf("benchmark   %s\n", res.Benchmark)
@@ -59,7 +100,7 @@ func main() {
 	fmt.Printf("cyc/region  %.1f\n", res.CyclesPerRegion())
 	fmt.Printf("consistency %s\n", orOK(res.CheckErr))
 	fmt.Printf("region lat  p50=%d p95=%d p99=%d cycles\n", res.RegionP50, res.RegionP95, res.RegionP99)
-	if buf != nil {
+	if printTrace {
 		fmt.Println(strings.Repeat("-", 40))
 		fmt.Print(buf.String())
 	}
@@ -74,6 +115,62 @@ func main() {
 			fmt.Printf("%-24s %12d\n", k, res.Stats[k])
 		}
 	}
+
+	if prof != nil {
+		// The exactness invariant is part of the tool's contract: every
+		// thread's buckets must sum to its lifetime.
+		if err := prof.Check(); err != nil {
+			fmt.Fprintf(os.Stderr, "asapsim: profile self-check failed: %v\n", err)
+			return 1
+		}
+	}
+	if *profile {
+		fmt.Println(strings.Repeat("-", 40))
+		fmt.Print(prof.String())
+	}
+	if *profileJSON != "" {
+		if err := writeTo(*profileJSON, prof.WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "asapsim: %v\n", err)
+			return 1
+		}
+	}
+	if *series != "" {
+		write := rec.WriteCSV
+		if strings.HasSuffix(*series, ".json") {
+			write = rec.WriteJSON
+		}
+		if err := writeTo(*series, write); err != nil {
+			fmt.Fprintf(os.Stderr, "asapsim: %v\n", err)
+			return 1
+		}
+	}
+	if *timeline != "" {
+		var events []trace.Event
+		if buf != nil {
+			events = buf.Events()
+		}
+		err := writeTo(*timeline, func(w io.Writer) error {
+			return obs.WriteTimeline(w, events, prof, rec)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asapsim: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// writeTo creates path and streams fn into it.
+func writeTo(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func orOK(s string) string {

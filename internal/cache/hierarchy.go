@@ -3,6 +3,7 @@ package cache
 import (
 	"asap/internal/arch"
 	"asap/internal/memdev"
+	"asap/internal/obs"
 	"asap/internal/sim"
 	"asap/internal/stats"
 )
@@ -33,6 +34,9 @@ type Hierarchy struct {
 	// onFill is called when a persistent line enters the L3 from memory,
 	// letting the engine reload a spilled OwnerRID (§5.3); nil-safe.
 	onFill func(arch.LineAddr, *Meta)
+
+	// prof attributes pinned-set stalls; nil when profiling is off.
+	prof *obs.Profiler
 }
 
 // NewHierarchy builds the hierarchy for the given core count. isPersistent
@@ -58,6 +62,9 @@ func (h *Hierarchy) SetEvictHook(fn func(EvictInfo)) { h.onLLCEvict = fn }
 
 // SetFillHook installs the engine's memory-fill callback.
 func (h *Hierarchy) SetFillHook(fn func(arch.LineAddr, *Meta)) { h.onFill = fn }
+
+// SetProfiler attaches a stall-attribution profiler (nil to detach).
+func (h *Hierarchy) SetProfiler(p *obs.Profiler) { h.prof = p }
 
 // Table returns the tag-extension table.
 func (h *Hierarchy) Table() *Table { return h.table }
@@ -280,6 +287,8 @@ func (h *Hierarchy) AccessBlocking(t *sim.Thread, core int, line arch.LineAddr, 
 		if ok {
 			return lat
 		}
+		h.prof.Enter(t, obs.LockedSet)
 		t.WaitUntil(func() bool { return h.CanAccess(core, line) })
+		h.prof.Exit(t)
 	}
 }

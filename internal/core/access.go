@@ -7,6 +7,7 @@ import (
 	"asap/internal/cache"
 	"asap/internal/machine"
 	"asap/internal/memdev"
+	"asap/internal/obs"
 	"asap/internal/sim"
 	"asap/internal/stats"
 	"asap/internal/trace"
@@ -86,13 +87,17 @@ func (e *Engine) initiateLPO(t *sim.Thread, ts *threadState, r *regionState, lin
 		lh := e.homeLH(r.rid)
 		if !lh.HasSpaceFor(r.rid) {
 			e.m.St.Inc(stats.LHWPQStalls)
+			e.prof.Enter(t, obs.LHWPQFull)
 			t.WaitUntil(func() bool { return lh.HasSpaceFor(r.rid) })
+			e.prof.Exit(t)
 		}
 		header, end, ok := ts.log.AllocRecord()
 		if !ok {
 			// Log overflow exception (§4.4): grow the buffer.
 			e.m.St.Inc(stats.LogOverflows)
+			e.prof.Enter(t, obs.LogOverflow)
 			t.Advance(e.opt.OverflowPenalty)
+			e.prof.Exit(t)
 			ts.log.Grow()
 			header, end, ok = ts.log.AllocRecord()
 			if !ok {
@@ -197,7 +202,9 @@ func (e *Engine) noteWrite(t *sim.Thread, r *regionState, line arch.LineAddr) {
 			s.Forced = true
 			e.maybeIssueDPO(r, s)
 		}
+		e.prof.Enter(t, obs.CLPtr)
 		t.WaitUntil(func() bool { return r.clList.CanAddSlot(r.cl, line) })
+		e.prof.Exit(t)
 	}
 	for _, s := range cl.Slots {
 		if s.Line != line {

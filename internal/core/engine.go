@@ -12,6 +12,7 @@ import (
 	"asap/internal/arch"
 	"asap/internal/machine"
 	"asap/internal/memdev"
+	"asap/internal/obs"
 	"asap/internal/sim"
 	"asap/internal/stats"
 	"asap/internal/trace"
@@ -86,10 +87,20 @@ type Engine struct {
 
 	// tr, when non-nil, receives every protocol event.
 	tr *trace.Buffer
+
+	// prof, when non-nil, attributes structure-wait cycles to buckets.
+	prof *obs.Profiler
 }
 
 // SetTrace attaches an event buffer (nil detaches).
 func (e *Engine) SetTrace(b *trace.Buffer) { e.tr = b }
+
+// SetProfiler attaches a stall-attribution profiler (nil detaches). The
+// machine's caches get the same profiler for pinned-set stalls.
+func (e *Engine) SetProfiler(p *obs.Profiler) {
+	e.prof = p
+	e.m.Caches.SetProfiler(p)
+}
 
 // Trace returns the attached event buffer, if any.
 func (e *Engine) Trace() *trace.Buffer { return e.tr }
@@ -181,7 +192,9 @@ func (e *Engine) Begin(t *sim.Thread) {
 	rid := arch.MakeRID(ts.tid, ts.local)
 	clList := e.cl[ts.core]
 	dList := e.depListOf(rid)
+	e.prof.Enter(t, obs.BeginWait)
 	t.WaitUntil(func() bool { return clList.HasSpace() && dList.HasSpace() })
+	e.prof.Exit(t)
 
 	r := &regionState{rid: rid, ts: ts, clList: clList, dList: dList}
 	r.cl = clList.Add(rid)
@@ -241,20 +254,66 @@ func (e *Engine) Fence(t *sim.Thread) {
 		return
 	}
 	start := t.Now()
+	e.prof.Enter(t, obs.FenceWait)
 	t.WaitUntil(func() bool { return last.committed })
+	e.prof.Exit(t)
 	e.m.St.Add(stats.FenceCycles, int64(t.Now()-start))
 }
 
 // DrainBarrier blocks until every region has committed and the memory
 // fabric is idle: the end-of-run accounting point.
 func (e *Engine) DrainBarrier(t *sim.Thread) {
+	e.prof.Enter(t, obs.Drain)
 	t.WaitUntil(func() bool {
 		return len(e.regions) == 0 && e.m.Fabric.Quiesced()
 	})
+	e.prof.Exit(t)
 }
 
 // ActiveRegions returns the number of uncommitted regions.
 func (e *Engine) ActiveRegions() int { return len(e.regions) }
+
+// DepEntriesLive returns the total live Dependence List entries across all
+// channels (occupancy gauge).
+func (e *Engine) DepEntriesLive() int {
+	n := 0
+	for _, dl := range e.dep {
+		n += dl.Len()
+	}
+	return n
+}
+
+// CLEntriesLive returns the total live CL List entries across all cores
+// (occupancy gauge).
+func (e *Engine) CLEntriesLive() int {
+	n := 0
+	for _, cl := range e.cl {
+		n += cl.Len()
+	}
+	return n
+}
+
+// LogBytesLive returns the total live undo-log bytes across all threads
+// (occupancy gauge).
+func (e *Engine) LogBytesLive() uint64 {
+	var n uint64
+	for _, ts := range e.threads {
+		n += ts.log.Live()
+	}
+	return n
+}
+
+// CommitBacklog returns how many regions have run asap_end but not yet
+// committed: the asynchrony window's live population.
+func (e *Engine) CommitBacklog() int {
+	n := 0
+	for _, r := range e.regions {
+		if r.endedAt > 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // addDep records that region r depends on dep (data or control), stalling
 // the thread if r's Dep slots are full (§4.6.3).
@@ -267,9 +326,11 @@ func (e *Engine) addDep(t *sim.Thread, r *regionState, dep arch.RID) {
 	}
 	if !r.dList.CanAddDep(r.dep, dep) {
 		e.m.St.Inc(stats.DepStalls)
+		e.prof.Enter(t, obs.DepSlot)
 		t.WaitUntil(func() bool {
 			return e.depOf(dep) == nil || r.dList.CanAddDep(r.dep, dep)
 		})
+		e.prof.Exit(t)
 		if e.depOf(dep) == nil {
 			return
 		}

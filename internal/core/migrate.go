@@ -2,6 +2,7 @@ package core
 
 import (
 	"asap/internal/arch"
+	"asap/internal/obs"
 	"asap/internal/sim"
 	"asap/internal/trace"
 )
@@ -33,7 +34,9 @@ func (e *Engine) Migrate(t *sim.Thread, core int) {
 			s.Forced = true
 			e.maybeIssueDPO(r, s)
 		}
+		e.prof.Enter(t, obs.CLPtr)
 		t.WaitUntil(func() bool { return r.cl == nil || len(r.cl.Slots) == 0 })
+		e.prof.Exit(t)
 		if r.cl != nil {
 			r.clList.Remove(r.rid)
 			r.cl = nil
@@ -49,7 +52,9 @@ func (e *Engine) Migrate(t *sim.Thread, core int) {
 	if r != nil && !r.committed {
 		// Re-home the InProgress region on the new core's CL List.
 		newList := e.cl[core]
+		e.prof.Enter(t, obs.BeginWait)
 		t.WaitUntil(newList.HasSpace)
+		e.prof.Exit(t)
 		r.clList = newList
 		r.cl = newList.Add(r.rid)
 		r.cl.Done = false

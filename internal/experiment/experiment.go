@@ -12,6 +12,7 @@ import (
 
 	"asap/internal/core"
 	"asap/internal/machine"
+	"asap/internal/obs"
 	"asap/internal/report"
 	"asap/internal/schemes"
 	"asap/internal/trace"
@@ -50,6 +51,11 @@ type Variant struct {
 	ASAPOpts *core.Options
 	// Trace, when non-nil, attaches a protocol event buffer (ASAP only).
 	Trace *trace.Buffer
+	// Obs, when non-nil, attaches the observability session: its profiler
+	// hooks the kernel clock and the scheme's stall sites, its recorder
+	// samples the occupancy gauges wired by WireGauges. Works under every
+	// scheme.
+	Obs *obs.Session
 }
 
 // issueDelayOverride lets calibration tests sweep the WPQ issue delay.
@@ -103,6 +109,18 @@ func Run(v Variant, bench string, scale Scale, valueBytes int) workload.Result {
 		s = eng
 	default:
 		panic("experiment: unknown scheme " + v.Scheme)
+	}
+
+	if v.Obs != nil {
+		m.K.SetObserver(v.Obs)
+		if v.Obs.Prof != nil {
+			if sp, ok := s.(interface{ SetProfiler(*obs.Profiler) }); ok {
+				sp.SetProfiler(v.Obs.Prof)
+			}
+		}
+		if v.Obs.Rec != nil {
+			WireGauges(v.Obs.Rec, m, s)
+		}
 	}
 
 	b := workload.ByName(bench)

@@ -59,6 +59,9 @@ func (c *Channel) Occupancy() int {
 // HasSpace reports whether the WPQ can accept another entry right now.
 func (c *Channel) HasSpace() bool { return c.Occupancy() < c.cfg.WPQEntries }
 
+// Waiters returns the number of arrivals stalled waiting for a WPQ slot.
+func (c *Channel) Waiters() int { return len(c.arrivals) }
+
 // Arrive presents e to the channel at the current kernel time. If a WPQ
 // slot is free the entry is accepted immediately (the persist operation is
 // then complete per §4.1) and onAccept fires; otherwise the entry waits in
@@ -76,6 +79,8 @@ func (c *Channel) Arrive(e *Entry, onAccept func(at uint64)) {
 func (c *Channel) accept(e *Entry, onAccept func(at uint64)) {
 	e.acceptedAt = c.k.Now()
 	c.queue = append(c.queue, e)
+	c.st.Hist(stats.WPQDepth).Observe(uint64(c.Occupancy()))
+	c.st.Hist(stats.LHWPQDepth).Observe(uint64(c.lh.Len()))
 	if onAccept != nil {
 		onAccept(c.k.Now())
 	}

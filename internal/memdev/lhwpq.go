@@ -54,6 +54,7 @@ func (h *LogHeader) clone() *LogHeader {
 // a header entry only leaves once its WPQ write has been accepted.
 type LHWPQ struct {
 	cap     int
+	peak    int
 	open    map[arch.RID]*LogHeader      // filling record per region
 	closing map[arch.LineAddr]*LogHeader // filled, header write in flight
 }
@@ -68,6 +69,9 @@ func newLHWPQ(capacity int) *LHWPQ {
 
 // Len returns the number of occupied entries (open plus closing).
 func (q *LHWPQ) Len() int { return len(q.open) + len(q.closing) }
+
+// Peak returns the highest occupancy ever reached.
+func (q *LHWPQ) Peak() int { return q.peak }
 
 // HasSpaceFor reports whether region r could hold an open header entry
 // right now: either it already has one, or a slot is free.
@@ -89,6 +93,9 @@ func (q *LHWPQ) Open(r arch.RID, headerAddr arch.LineAddr) *LogHeader {
 	}
 	h := &LogHeader{RID: r, HeaderAddr: headerAddr}
 	q.open[r] = h
+	if n := q.Len(); n > q.peak {
+		q.peak = n
+	}
 	return h
 }
 

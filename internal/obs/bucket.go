@@ -1,0 +1,86 @@
+// Package obs is the simulator's observability layer: a stall-attribution
+// profiler that charges every simulated thread-cycle to the hardware
+// structure responsible for it, a sampled time-series recorder for the
+// occupancy gauges those structures expose, and exporters (Perfetto
+// timeline, CSV/JSON series, cycle-accounting tables) that turn both into
+// artifacts.
+//
+// Everything here is passive and nil-safe: an unattached profiler or
+// recorder costs a pointer comparison at most, never perturbs simulated
+// time, and never injects events into the kernel queue — a run with
+// observability attached is cycle-for-cycle identical to one without.
+package obs
+
+// Bucket classifies what a simulated thread's cycles were spent on. Every
+// cycle of every thread is charged to exactly one bucket: Compute unless
+// the protocol brackets the time as a wait on a specific structure.
+type Bucket uint8
+
+const (
+	// Compute is the default: cache-access latency, instruction work, and
+	// any time not bracketed as a wait.
+	Compute Bucket = iota
+	// FenceWait is time blocked in asap_fence (§5.2) — or, for the
+	// synchronous baselines, in the end-of-region persist drain that plays
+	// the same role on their critical path.
+	FenceWait
+	// WPQFull is back-pressure from the persist window: the baselines'
+	// bounded outstanding-persist tracking (§6.3) stalling a store.
+	WPQFull
+	// LHWPQFull is a first-write stalled because the region's home LH-WPQ
+	// has no free header entry (§5.5).
+	LHWPQFull
+	// DepSlot is a read/write stalled because the region's Dep slots are
+	// full and the depended-on region has not committed (§4.6.3).
+	DepSlot
+	// CLPtr is a write stalled because all CLPtr slots of the region's CL
+	// List entry are busy, waiting for a forced DPO to complete (§4.6.2).
+	CLPtr
+	// LogOverflow is the log-overflow exception penalty and buffer regrow
+	// (§4.4).
+	LogOverflow
+	// BeginWait is asap_begin stalled for a free CL List or Dependence
+	// List entry (§4.5) — entry exhaustion, as opposed to slot exhaustion.
+	BeginWait
+	// LockWait is contention on a simulated mutex (workload-level
+	// critical sections, §4.2).
+	LockWait
+	// LockedSet is a cache access stalled because every way of a needed
+	// set is pinned by LockBits (undo material still in flight, §4.6.1).
+	LockedSet
+	// Drain is time blocked in a drain barrier waiting for outstanding
+	// regions to commit and the fabric to quiesce.
+	Drain
+
+	// NumBuckets is the bucket count; arrays indexed by Bucket use it.
+	NumBuckets
+)
+
+var bucketNames = [NumBuckets]string{
+	Compute:     "compute",
+	FenceWait:   "fence-wait",
+	WPQFull:     "wpq-full",
+	LHWPQFull:   "lhwpq-full",
+	DepSlot:     "dep-slot",
+	CLPtr:       "clptr",
+	LogOverflow: "log-overflow",
+	BeginWait:   "begin-wait",
+	LockWait:    "lock-wait",
+	LockedSet:   "locked-set",
+	Drain:       "drain",
+}
+
+// String names the bucket.
+func (b Bucket) String() string {
+	if int(b) < len(bucketNames) {
+		return bucketNames[b]
+	}
+	return "bucket(?)"
+}
+
+// BucketNames returns the bucket names in index order.
+func BucketNames() []string {
+	out := make([]string, NumBuckets)
+	copy(out, bucketNames[:])
+	return out
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Sample is one row of the time series: every gauge read at cycle At.
+type Sample struct {
+	At     uint64    `json:"at"`
+	Values []float64 `json:"values"`
+}
+
+// Recorder samples a set of gauges — closures reading live hardware state
+// — at a fixed cycle interval, driven by the kernel's Tick callback so no
+// events are injected into the simulation. Memory is bounded: when the
+// sample budget fills, every other retained sample is dropped and the
+// interval doubles, so a run of any length keeps full-time-span coverage
+// at progressively coarser resolution.
+type Recorder struct {
+	interval uint64
+	next     uint64
+	max      int
+
+	names  []string
+	gauges []func() float64
+
+	samples []Sample
+}
+
+// NewRecorder returns a recorder sampling every interval cycles (<=0
+// selects 1000), keeping at most maxSamples rows (<=0 selects 4096).
+func NewRecorder(interval uint64, maxSamples int) *Recorder {
+	if interval == 0 {
+		interval = 1000
+	}
+	if maxSamples <= 0 {
+		maxSamples = 4096
+	}
+	if maxSamples < 2 {
+		maxSamples = 2
+	}
+	return &Recorder{interval: interval, max: maxSamples}
+}
+
+// AddGauge registers a named gauge. Gauges are read in registration order
+// at every sample point; fn runs in kernel context and must not mutate
+// simulation state.
+func (r *Recorder) AddGauge(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.names = append(r.names, name)
+	r.gauges = append(r.gauges, fn)
+}
+
+// Tick implements the sampling half of sim.Observer: when the kernel
+// clock has reached the next sample point, read every gauge.
+func (r *Recorder) Tick(now uint64) {
+	if r == nil || now < r.next {
+		return
+	}
+	vals := make([]float64, len(r.gauges))
+	for i, g := range r.gauges {
+		vals[i] = g()
+	}
+	r.samples = append(r.samples, Sample{At: now, Values: vals})
+	if len(r.samples) >= r.max {
+		r.decimate()
+	}
+	r.next = (now/r.interval + 1) * r.interval
+}
+
+// decimate halves the retained samples and doubles the interval.
+func (r *Recorder) decimate() {
+	kept := r.samples[:0]
+	for i := 0; i < len(r.samples); i += 2 {
+		kept = append(kept, r.samples[i])
+	}
+	r.samples = kept
+	r.interval *= 2
+}
+
+// Interval returns the current sampling interval in cycles (it grows when
+// the sample budget fills).
+func (r *Recorder) Interval() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.interval
+}
+
+// Names returns the gauge names in column order.
+func (r *Recorder) Names() []string {
+	if r == nil {
+		return nil
+	}
+	return r.names
+}
+
+// Samples returns the retained samples, oldest first.
+func (r *Recorder) Samples() []Sample {
+	if r == nil {
+		return nil
+	}
+	return r.samples
+}
+
+// WriteCSV writes the series as CSV: a "cycle,<gauge>,..." header then one
+// row per sample.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "cycle,%s\n", strings.Join(r.Names(), ",")); err != nil {
+		return err
+	}
+	for _, s := range r.Samples() {
+		cols := make([]string, 0, len(s.Values)+1)
+		cols = append(cols, fmt.Sprintf("%d", s.At))
+		for _, v := range s.Values {
+			cols = append(cols, fmt.Sprintf("%g", v))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seriesJSON is the JSON dump layout.
+type seriesJSON struct {
+	Interval uint64   `json:"interval"`
+	Names    []string `json:"names"`
+	Samples  []Sample `json:"samples"`
+}
+
+// WriteJSON writes the series as one JSON object with the gauge names,
+// final interval, and all samples.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	doc := seriesJSON{Interval: r.Interval(), Names: r.Names(), Samples: r.Samples()}
+	if doc.Names == nil {
+		doc.Names = []string{}
+	}
+	if doc.Samples == nil {
+		doc.Samples = []Sample{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRecorderSampling: gauges are read at every interval boundary the
+// clock reaches, in registration order.
+func TestRecorderSampling(t *testing.T) {
+	r := NewRecorder(10, 0)
+	v := 0.0
+	r.AddGauge("g", func() float64 { return v })
+	for now := uint64(0); now <= 100; now++ {
+		v = float64(now)
+		r.Tick(now)
+	}
+	s := r.Samples()
+	if len(s) != 11 {
+		t.Fatalf("got %d samples, want 11 (cycles 0..100 every 10)", len(s))
+	}
+	if s[3].At != 30 || s[3].Values[0] != 30 {
+		t.Fatalf("sample[3] = %+v, want At=30 value=30", s[3])
+	}
+	if got := r.Names(); len(got) != 1 || got[0] != "g" {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+// TestRecorderSkipsToNextBoundary: a coarse clock that jumps over several
+// intervals yields one sample per Tick, then resynchronizes.
+func TestRecorderSkipsToNextBoundary(t *testing.T) {
+	r := NewRecorder(10, 0)
+	r.AddGauge("g", func() float64 { return 1 })
+	r.Tick(0)
+	r.Tick(47) // jumped over 10..40: one sample at 47, next at 50
+	r.Tick(50)
+	at := []uint64{}
+	for _, s := range r.Samples() {
+		at = append(at, s.At)
+	}
+	want := []uint64{0, 47, 50}
+	for i := range want {
+		if i >= len(at) || at[i] != want[i] {
+			t.Fatalf("sample times %v, want %v", at, want)
+		}
+	}
+}
+
+// TestRecorderDecimation: hitting the sample budget halves the retained
+// samples and doubles the interval, so memory stays bounded while the
+// series keeps covering the whole run.
+func TestRecorderDecimation(t *testing.T) {
+	r := NewRecorder(1, 4)
+	r.AddGauge("g", func() float64 { return 0 })
+	for now := uint64(0); now <= 8; now++ {
+		r.Tick(now)
+		if len(r.Samples()) > 4 {
+			t.Fatalf("budget exceeded at cycle %d: %d samples", now, len(r.Samples()))
+		}
+	}
+	if r.Interval() != 4 {
+		t.Fatalf("interval = %d, want 4 after two decimations", r.Interval())
+	}
+	at := []uint64{}
+	for _, s := range r.Samples() {
+		at = append(at, s.At)
+	}
+	want := []uint64{0, 4, 8}
+	if len(at) != len(want) {
+		t.Fatalf("sample times %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("sample times %v, want %v", at, want)
+		}
+	}
+}
+
+// TestRecorderCSV checks the header and row layout.
+func TestRecorderCSV(t *testing.T) {
+	r := NewRecorder(5, 0)
+	r.AddGauge("a", func() float64 { return 1.5 })
+	r.AddGauge("b", func() float64 { return 2 })
+	r.Tick(0)
+	r.Tick(5)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	if lines[0] != "cycle,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0,1.5,2" || lines[2] != "5,1.5,2" {
+		t.Fatalf("rows = %q, %q", lines[1], lines[2])
+	}
+}
+
+// TestRecorderJSON: the dump round-trips with names, interval and samples.
+func TestRecorderJSON(t *testing.T) {
+	r := NewRecorder(5, 0)
+	r.AddGauge("a", func() float64 { return 3 })
+	r.Tick(0)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Interval uint64   `json:"interval"`
+		Names    []string `json:"names"`
+		Samples  []struct {
+			At     uint64    `json:"at"`
+			Values []float64 `json:"values"`
+		} `json:"samples"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON output does not parse: %v", err)
+	}
+	if doc.Interval != 5 || len(doc.Names) != 1 || doc.Names[0] != "a" {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if len(doc.Samples) != 1 || doc.Samples[0].Values[0] != 3 {
+		t.Fatalf("samples = %+v", doc.Samples)
+	}
+}
+
+// TestRecorderJSONEmpty: an empty recorder serializes empty arrays, not
+// nulls, so downstream parsers need no special case.
+func TestRecorderJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRecorder(0, 0).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Contains(s, "null") {
+		t.Fatalf("empty recorder serialized null: %q", s)
+	}
+}
+
+// TestNilRecorderSafe: the disabled path must cost nothing and crash
+// nothing.
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.AddGauge("g", func() float64 { return 0 })
+	r.Tick(100)
+	if r.Names() != nil || r.Samples() != nil || r.Interval() != 0 {
+		t.Fatal("nil recorder leaked state")
+	}
+}
+
+// TestRecorderDefaults: zero arguments select the documented defaults.
+func TestRecorderDefaults(t *testing.T) {
+	r := NewRecorder(0, 0)
+	if r.Interval() != 1000 {
+		t.Fatalf("default interval = %d, want 1000", r.Interval())
+	}
+	if r.max != 4096 {
+		t.Fatalf("default max = %d, want 4096", r.max)
+	}
+}

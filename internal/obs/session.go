@@ -1,0 +1,28 @@
+package obs
+
+import "asap/internal/sim"
+
+// Session bundles a profiler and a recorder into one sim.Observer, so a
+// run can attach either or both with a single kernel hook. Nil members
+// are skipped (both Profiler and Recorder are nil-safe).
+type Session struct {
+	Prof *Profiler
+	Rec  *Recorder
+}
+
+var _ sim.Observer = (*Session)(nil)
+
+// ThreadStart implements sim.Observer.
+func (s *Session) ThreadStart(t *sim.Thread) { s.Prof.ThreadStart(t) }
+
+// ClockAdvance implements sim.Observer.
+func (s *Session) ClockAdvance(t *sim.Thread, delta uint64) { s.Prof.ClockAdvance(t, delta) }
+
+// LockBegin implements sim.Observer.
+func (s *Session) LockBegin(t *sim.Thread) { s.Prof.LockBegin(t) }
+
+// LockEnd implements sim.Observer.
+func (s *Session) LockEnd(t *sim.Thread) { s.Prof.LockEnd(t) }
+
+// Tick implements sim.Observer.
+func (s *Session) Tick(now uint64) { s.Rec.Tick(now) }

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"asap/internal/arch"
+	"asap/internal/trace"
+)
+
+// TimelineEvent is one entry of the Chrome/Perfetto trace-event format
+// (ph "X" slices, "i" instants, "b"/"e" async pairs, "C" counters, "M"
+// metadata). Timestamps are simulated cycles passed through the format's
+// microsecond field, so 1 "us" on the Perfetto axis is 1 cycle.
+type TimelineEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    uint64         `json:"ts"`
+	Dur   uint64         `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	ID    uint64         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Timeline is the top-level trace.json document.
+type Timeline struct {
+	TraceEvents     []TimelineEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+// regionTimes collects one region's lifecycle instants from the ring.
+type regionTimes struct {
+	rid                arch.RID
+	begin, end, commit uint64
+	hasBegin, hasEnd   bool
+	hasCommit          bool
+}
+
+// BuildTimeline assembles a Perfetto timeline out of the protocol events
+// retained in the trace ring, the profiler's wait spans, and the
+// recorder's gauge samples. Any of the three sources may be nil/empty.
+//
+// Track layout: pid 0 holds one track per simulated thread carrying the
+// region slices (begin→end) and stall spans, async "commit-lag" arrows
+// from asap_end to commit, instant marks for persist-operation events,
+// and one counter track per recorder gauge.
+func BuildTimeline(events []trace.Event, prof *Profiler, rec *Recorder) *Timeline {
+	tl := &Timeline{DisplayTimeUnit: "ms", TraceEvents: []TimelineEvent{}}
+	add := func(e TimelineEvent) { tl.TraceEvents = append(tl.TraceEvents, e) }
+
+	add(TimelineEvent{Name: "process_name", Ph: "M", Args: map[string]any{"name": "asap-sim"}})
+	for _, tp := range prof.Threads() {
+		add(TimelineEvent{Name: "thread_name", Ph: "M", Tid: tp.ID,
+			Args: map[string]any{"name": tp.Name}})
+	}
+
+	// Region lifecycle slices. Regions whose begin was evicted from the
+	// ring are skipped rather than drawn with a fabricated start.
+	byRID := make(map[arch.RID]*regionTimes)
+	order := []arch.RID{}
+	get := func(rid arch.RID) *regionTimes {
+		rt := byRID[rid]
+		if rt == nil {
+			rt = &regionTimes{rid: rid}
+			byRID[rid] = rt
+			order = append(order, rid)
+		}
+		return rt
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case trace.RegionBegin:
+			rt := get(e.RID)
+			rt.begin, rt.hasBegin = e.At, true
+		case trace.RegionEnd:
+			rt := get(e.RID)
+			rt.end, rt.hasEnd = e.At, true
+		case trace.RegionCommit:
+			rt := get(e.RID)
+			rt.commit, rt.hasCommit = e.At, true
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := byRID[order[i]], byRID[order[j]]
+		if a.begin != b.begin {
+			return a.begin < b.begin
+		}
+		return a.rid < b.rid
+	})
+	for _, rid := range order {
+		rt := byRID[rid]
+		if rt.hasBegin && rt.hasEnd {
+			add(TimelineEvent{Name: rid.String(), Cat: "region", Ph: "X",
+				Ts: rt.begin, Dur: rt.end - rt.begin, Tid: rid.Thread()})
+		}
+		if rt.hasEnd && rt.hasCommit && rt.commit > rt.end {
+			add(TimelineEvent{Name: "commit-lag", Cat: "commit", Ph: "b",
+				Ts: rt.end, Tid: rid.Thread(), ID: uint64(rid)})
+			add(TimelineEvent{Name: "commit-lag", Cat: "commit", Ph: "e",
+				Ts: rt.commit, Tid: rid.Thread(), ID: uint64(rid)})
+		}
+	}
+
+	// Stall spans on the thread tracks. Enter/Exit nests strictly, so
+	// Perfetto renders inner waits inside outer ones.
+	spans, _ := prof.Spans()
+	for _, s := range spans {
+		add(TimelineEvent{Name: s.Bucket.String(), Cat: "stall", Ph: "X",
+			Ts: s.From, Dur: s.To - s.From, Tid: s.TID})
+	}
+
+	// Persist-operation and bookkeeping instants.
+	for _, e := range events {
+		switch e.Kind {
+		case trace.RegionBegin, trace.RegionEnd, trace.RegionCommit:
+			continue
+		}
+		args := map[string]any{"rid": e.RID.String()}
+		if e.Line != 0 {
+			args["line"] = uint64(e.Line)
+		}
+		if e.Aux != 0 {
+			args["aux"] = e.Aux
+		}
+		add(TimelineEvent{Name: e.Kind.String(), Cat: "persist", Ph: "i",
+			Ts: e.At, Tid: e.RID.Thread(), Scope: "t", Args: args})
+	}
+
+	// Gauge counter tracks.
+	names := rec.Names()
+	for _, s := range rec.Samples() {
+		for i, v := range s.Values {
+			add(TimelineEvent{Name: names[i], Cat: "gauge", Ph: "C", Ts: s.At,
+				Args: map[string]any{"value": v}})
+		}
+	}
+	return tl
+}
+
+// WriteTimeline writes BuildTimeline's output as JSON.
+func WriteTimeline(w io.Writer, events []trace.Event, prof *Profiler, rec *Recorder) error {
+	return json.NewEncoder(w).Encode(BuildTimeline(events, prof, rec))
+}

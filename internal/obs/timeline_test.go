@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"asap/internal/arch"
+	"asap/internal/trace"
+)
+
+// buildTestTimeline assembles a timeline from one committed region, one
+// region whose begin was evicted from the ring, a persist instant, one
+// stall span and one gauge series.
+func buildTestTimeline() *Timeline {
+	r1 := arch.MakeRID(1, 1)
+	r2 := arch.MakeRID(2, 9)
+	events := []trace.Event{
+		{At: 10, Kind: trace.RegionBegin, RID: r1},
+		{At: 15, Kind: trace.LPOIssue, RID: r1, Line: 64},
+		{At: 30, Kind: trace.RegionEnd, RID: r1},
+		{At: 80, Kind: trace.RegionCommit, RID: r1},
+		{At: 5, Kind: trace.RegionEnd, RID: r2}, // begin evicted: no slice
+	}
+
+	p := NewProfiler()
+	p.byID[1] = &ThreadProfile{ID: 1, Name: "w1", End: 100}
+	p.order = []int{1}
+	p.spanCap = 8
+	p.spans = []Span{{TID: 1, Name: "w1", Bucket: FenceWait, From: 20, To: 28}}
+
+	rec := NewRecorder(10, 0)
+	rec.AddGauge("wpq0", func() float64 { return 3 })
+	rec.Tick(0)
+	rec.Tick(10)
+
+	return BuildTimeline(events, p, rec)
+}
+
+func find(tl *Timeline, ph, name string) []TimelineEvent {
+	var out []TimelineEvent
+	for _, e := range tl.TraceEvents {
+		if e.Ph == ph && e.Name == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestTimelineRegionSlices: a region with both begin and end in the ring
+// becomes one complete slice on its thread's track; a region missing its
+// begin is skipped rather than drawn with a fabricated start.
+func TestTimelineRegionSlices(t *testing.T) {
+	tl := buildTestTimeline()
+	var regions []TimelineEvent
+	for _, e := range tl.TraceEvents {
+		if e.Cat == "region" {
+			regions = append(regions, e)
+		}
+	}
+	if len(regions) != 1 {
+		t.Fatalf("got %d region slices, want 1 (evicted begin skipped)", len(regions))
+	}
+	r := regions[0]
+	if r.Ph != "X" || r.Ts != 10 || r.Dur != 20 || r.Tid != 1 {
+		t.Fatalf("region slice = %+v, want X at 10 dur 20 on tid 1", r)
+	}
+}
+
+// TestTimelineCommitLag: an end-to-commit gap becomes a matched b/e async
+// pair sharing the region's id.
+func TestTimelineCommitLag(t *testing.T) {
+	tl := buildTestTimeline()
+	b := find(tl, "b", "commit-lag")
+	e := find(tl, "e", "commit-lag")
+	if len(b) != 1 || len(e) != 1 {
+		t.Fatalf("commit-lag pairs: %d begins, %d ends, want 1/1", len(b), len(e))
+	}
+	if b[0].Ts != 30 || e[0].Ts != 80 || b[0].ID != e[0].ID || b[0].ID == 0 {
+		t.Fatalf("pair = %+v / %+v, want matching id spanning 30..80", b[0], e[0])
+	}
+}
+
+// TestTimelineStallsInstantsCounters: stall spans, persist instants and
+// gauge counters all land in the document with the right phases.
+func TestTimelineStallsInstantsCounters(t *testing.T) {
+	tl := buildTestTimeline()
+
+	stalls := find(tl, "X", "fence-wait")
+	if len(stalls) != 1 || stalls[0].Cat != "stall" || stalls[0].Dur != 8 {
+		t.Fatalf("stall spans = %+v, want one 8-cycle fence-wait", stalls)
+	}
+
+	inst := find(tl, "i", "lpo.issue")
+	if len(inst) != 1 || inst[0].Scope != "t" || inst[0].Args["rid"] == nil {
+		t.Fatalf("instants = %+v, want one scoped lpo.issue with rid arg", inst)
+	}
+
+	ctr := find(tl, "C", "wpq0")
+	if len(ctr) != 2 {
+		t.Fatalf("got %d counter events, want 2", len(ctr))
+	}
+	if v, ok := ctr[0].Args["value"].(float64); !ok || v != 3 {
+		t.Fatalf("counter args = %v, want value 3", ctr[0].Args)
+	}
+
+	if len(find(tl, "M", "process_name")) != 1 || len(find(tl, "M", "thread_name")) != 1 {
+		t.Fatal("metadata events missing")
+	}
+}
+
+// TestTimelineRoundTrips: the document marshals and re-parses, and keeps
+// the displayTimeUnit Perfetto expects.
+func TestTimelineRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	tl := buildTestTimeline()
+	if err := json.NewEncoder(&buf).Encode(tl); err != nil {
+		t.Fatal(err)
+	}
+	var back Timeline
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("timeline does not re-parse: %v", err)
+	}
+	if len(back.TraceEvents) != len(tl.TraceEvents) {
+		t.Fatalf("round trip lost events: %d -> %d", len(tl.TraceEvents), len(back.TraceEvents))
+	}
+	if back.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", back.DisplayTimeUnit)
+	}
+}
+
+// TestTimelineAllSourcesNil: every source is optional; a timeline built
+// from nothing is still a valid document.
+func TestTimelineAllSourcesNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var back Timeline
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.TraceEvents) != 1 || back.TraceEvents[0].Name != "process_name" {
+		t.Fatalf("empty timeline = %+v, want just process metadata", back.TraceEvents)
+	}
+}

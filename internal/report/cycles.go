@@ -1,0 +1,69 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CycleData is the cycle-accounting table: for each column (one scheme or
+// one configuration) the share of all simulated thread-cycles charged to
+// each bucket. Declared here structurally — like Chartable — so report
+// stays a pure presentation layer.
+type CycleData struct {
+	Title   string
+	Cols    []string // one per scheme/configuration
+	Buckets []string // bucket names, row order
+	// Share[b][c] is the fraction (0..1) of column c's cycles in bucket b.
+	Share [][]float64
+	// TotalCycles[c] is column c's all-thread cycle total.
+	TotalCycles []uint64
+}
+
+// CycleAccounting renders the percent-of-cycles table: buckets down,
+// schemes across. Buckets that are zero in every column are omitted; the
+// per-column totals appear in the footer.
+func CycleAccounting(d CycleData) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", d.Title)
+
+	nameW := len("total cycles")
+	for _, bk := range d.Buckets {
+		if len(bk) > nameW {
+			nameW = len(bk)
+		}
+	}
+	colW := 9
+	for _, c := range d.Cols {
+		if len(c) > colW {
+			colW = len(c)
+		}
+	}
+
+	fmt.Fprintf(&b, "%-*s", nameW, "")
+	for _, c := range d.Cols {
+		fmt.Fprintf(&b, " %*s", colW, c)
+	}
+	b.WriteByte('\n')
+
+	for bi, bk := range d.Buckets {
+		all := 0.0
+		for ci := range d.Cols {
+			all += d.Share[bi][ci]
+		}
+		if all == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-*s", nameW, bk)
+		for ci := range d.Cols {
+			fmt.Fprintf(&b, " %*.1f%%", colW-1, 100*d.Share[bi][ci])
+		}
+		b.WriteByte('\n')
+	}
+
+	fmt.Fprintf(&b, "%-*s", nameW, "total cycles")
+	for _, tc := range d.TotalCycles {
+		fmt.Fprintf(&b, " %*d", colW, tc)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleCycleData() CycleData {
+	return CycleData{
+		Title:       "Cycle accounting: test",
+		Cols:        []string{"SW", "ASAP"},
+		Buckets:     []string{"compute", "fence-wait", "drain"},
+		Share:       [][]float64{{0.8, 0.95}, {0.2, 0.05}, {0, 0}},
+		TotalCycles: []uint64{1000, 900},
+	}
+}
+
+// TestCycleAccountingRendersShares: each nonzero bucket becomes a percent
+// row under its scheme column.
+func TestCycleAccountingRendersShares(t *testing.T) {
+	out := CycleAccounting(sampleCycleData())
+	for _, want := range []string{
+		"Cycle accounting: test",
+		"SW", "ASAP",
+		"compute", "80.0%", "95.0%",
+		"fence-wait", "20.0%", "5.0%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCycleAccountingOmitsZeroBuckets: a bucket no column charged is
+// noise and must not render.
+func TestCycleAccountingOmitsZeroBuckets(t *testing.T) {
+	out := CycleAccounting(sampleCycleData())
+	if strings.Contains(out, "drain") {
+		t.Fatalf("all-zero bucket rendered:\n%s", out)
+	}
+}
+
+// TestCycleAccountingFooterTotals: the footer carries each column's
+// absolute cycle total, so percentages stay auditable.
+func TestCycleAccountingFooterTotals(t *testing.T) {
+	out := CycleAccounting(sampleCycleData())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	footer := lines[len(lines)-1]
+	for _, want := range []string{"total cycles", "1000", "900"} {
+		if !strings.Contains(footer, want) {
+			t.Fatalf("footer %q missing %q", footer, want)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"asap/internal/cache"
 	"asap/internal/machine"
 	"asap/internal/memdev"
+	"asap/internal/obs"
 	"asap/internal/sim"
 	"asap/internal/stats"
 	"asap/internal/wal"
@@ -68,6 +69,14 @@ type ASAPRedo struct {
 	Window int
 	// RedirectPenalty is the extra latency of a log-redirected read.
 	RedirectPenalty uint64
+
+	prof *obs.Profiler
+}
+
+// SetProfiler attaches a stall-attribution profiler (nil detaches).
+func (s *ASAPRedo) SetProfiler(p *obs.Profiler) {
+	s.prof = p
+	s.m.Caches.SetProfiler(p)
 }
 
 var _ machine.Scheme = (*ASAPRedo)(nil)
@@ -231,17 +240,21 @@ func (s *ASAPRedo) Fence(t *sim.Thread) {
 	if last == nil {
 		return
 	}
+	s.prof.Enter(t, obs.FenceWait)
 	t.WaitUntil(func() bool { return last.committed })
+	s.prof.Exit(t)
 }
 
 // DrainBarrier implements machine.Scheme.
 func (s *ASAPRedo) DrainBarrier(t *sim.Thread) {
+	s.prof.Enter(t, obs.Drain)
 	t.WaitUntil(func() bool {
 		if len(s.regions) != 0 {
 			return false
 		}
 		return s.m.Fabric.Quiesced()
 	})
+	s.prof.Exit(t)
 }
 
 // Load implements machine.Scheme with dependence capture and redirect
@@ -279,7 +292,9 @@ func (s *ASAPRedo) Store(t *sim.Thread, addr uint64, data []byte) {
 		r.words += (len(data) + 7) / 8
 		for r.words >= 8 {
 			r.words -= 8
+			s.prof.Enter(t, obs.WPQFull)
 			t.WaitUntil(func() bool { return r.pendingLogs < s.Window })
+			s.prof.Exit(t)
 			s.flushLogLine(t, r)
 		}
 	}
@@ -326,7 +341,9 @@ func (s *ASAPRedo) allocRecord(t *sim.Thread, r *redoARegion) {
 	if !ok {
 		s.m.St.Inc(stats.LogOverflows)
 		if t != nil {
+			s.prof.Enter(t, obs.LogOverflow)
 			t.Advance(2000)
+			s.prof.Exit(t)
 		}
 		r.ts.log.Grow()
 		rec, end, _ = r.ts.log.AllocRecord()

@@ -5,6 +5,7 @@ import (
 	"asap/internal/cache"
 	"asap/internal/machine"
 	"asap/internal/memdev"
+	"asap/internal/obs"
 	"asap/internal/sim"
 	"asap/internal/stats"
 	"asap/internal/wal"
@@ -51,6 +52,14 @@ type HWRedo struct {
 	// Window bounds the outstanding log writes per thread (§6.3: on-chip
 	// resources of similar size to ASAP's).
 	Window int
+
+	prof *obs.Profiler
+}
+
+// SetProfiler attaches a stall-attribution profiler (nil detaches).
+func (s *HWRedo) SetProfiler(p *obs.Profiler) {
+	s.prof = p
+	s.m.Caches.SetProfiler(p)
 }
 
 var _ machine.Scheme = (*HWRedo)(nil)
@@ -114,7 +123,9 @@ func (s *HWRedo) End(t *sim.Thread) {
 	if ts.words > 0 {
 		s.flushLogLine(t, ts)
 	}
+	s.prof.Enter(t, obs.FenceWait)
 	t.WaitUntil(func() bool { return ts.pendingLogs == 0 })
+	s.prof.Exit(t)
 
 	if len(ts.dirty) > 0 {
 		// Commit record: redo logging needs a durable commit marker before
@@ -127,7 +138,9 @@ func (s *HWRedo) End(t *sim.Thread) {
 		s.m.Fabric.SubmitPersist(&memdev.Entry{
 			Kind: memdev.KindLogHeader, RID: ts.rid, Dst: ts.rec, Subject: ts.rec, Payload: hdr,
 		}, func(uint64) { ts.pendingLogs-- })
+		s.prof.Enter(t, obs.FenceWait)
 		t.WaitUntil(func() bool { return ts.pendingLogs == 0 })
+		s.prof.Exit(t)
 	}
 
 	// Committed. Issue the in-place DPOs asynchronously, superseding any
@@ -198,7 +211,9 @@ func (s *HWRedo) Store(t *sim.Thread, addr uint64, data []byte) {
 		ts.words += words
 		for ts.words >= 8 {
 			ts.words -= 8
+			s.prof.Enter(t, obs.WPQFull)
 			t.WaitUntil(func() bool { return ts.pendingLogs < s.Window })
+			s.prof.Exit(t)
 			s.flushLogLine(t, ts)
 		}
 	}
@@ -225,7 +240,9 @@ func (s *HWRedo) allocRecord(t *sim.Thread, ts *redoThread) {
 	rec, end, ok := ts.log.AllocRecord()
 	if !ok {
 		s.m.St.Inc(stats.LogOverflows)
+		s.prof.Enter(t, obs.LogOverflow)
 		t.Advance(2000)
+		s.prof.Exit(t)
 		ts.log.Grow()
 		rec, end, _ = ts.log.AllocRecord()
 	}
@@ -245,7 +262,9 @@ func (s *HWRedo) onEvict(info cache.EvictInfo) {
 
 // DrainBarrier implements machine.Scheme.
 func (s *HWRedo) DrainBarrier(t *sim.Thread) {
+	s.prof.Enter(t, obs.Drain)
 	t.WaitUntil(s.m.Fabric.Quiesced)
+	s.prof.Exit(t)
 }
 
 func max(a, b int) int {

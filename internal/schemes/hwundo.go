@@ -5,6 +5,7 @@ import (
 	"asap/internal/cache"
 	"asap/internal/machine"
 	"asap/internal/memdev"
+	"asap/internal/obs"
 	"asap/internal/sim"
 	"asap/internal/stats"
 	"asap/internal/wal"
@@ -46,6 +47,14 @@ type HWUndo struct {
 	// baselines get on-chip tracking resources of a size similar to
 	// ASAP's (§6.3), not unbounded ones.
 	Window int
+
+	prof *obs.Profiler
+}
+
+// SetProfiler attaches a stall-attribution profiler (nil detaches).
+func (s *HWUndo) SetProfiler(p *obs.Profiler) {
+	s.prof = p
+	s.m.Caches.SetProfiler(p)
 }
 
 var _ machine.Scheme = (*HWUndo)(nil)
@@ -105,11 +114,15 @@ func (s *HWUndo) End(t *sim.Thread) {
 	// the remainder are lines whose LPO is still in flight or that were
 	// rewritten after their eager DPO. Wait for LPOs, flush the stragglers,
 	// wait for all DPOs — the synchronous commit.
+	s.prof.Enter(t, obs.FenceWait)
 	t.WaitUntil(func() bool { return ts.pendingLPOs == 0 })
+	s.prof.Exit(t)
 	for _, line := range sortedLines(ts.dirty) {
 		s.issueDPO(ts, line)
 	}
+	s.prof.Enter(t, obs.FenceWait)
 	t.WaitUntil(func() bool { return ts.pendingDPOs == 0 })
+	s.prof.Exit(t)
 
 	// Committed: the log is freed and its still-queued LPOs dropped
 	// (§5.1) when the lazy truncation pass reaches this region.
@@ -151,7 +164,9 @@ func (s *HWUndo) Store(t *sim.Thread, addr uint64, data []byte) {
 			continue
 		}
 		ts.logged[line] = true
+		s.prof.Enter(t, obs.WPQFull)
 		t.WaitUntil(func() bool { return ts.pendingLPOs+ts.pendingDPOs < s.Window })
+		s.prof.Exit(t)
 		s.issueLPO(t, ts, line)
 	}
 	s.m.Heap.Write(addr, data)
@@ -169,7 +184,9 @@ func (s *HWUndo) issueLPO(t *sim.Thread, ts *undoThread, line arch.LineAddr) {
 		rec, end, ok := ts.log.AllocRecord()
 		if !ok {
 			s.m.St.Inc(stats.LogOverflows)
+			s.prof.Enter(t, obs.LogOverflow)
 			t.Advance(2000)
+			s.prof.Exit(t)
 			ts.log.Grow()
 			rec, end, _ = ts.log.AllocRecord()
 		}
@@ -213,5 +230,7 @@ func (s *HWUndo) issueDPO(ts *undoThread, line arch.LineAddr) {
 
 // DrainBarrier implements machine.Scheme.
 func (s *HWUndo) DrainBarrier(t *sim.Thread) {
+	s.prof.Enter(t, obs.Drain)
 	t.WaitUntil(s.m.Fabric.Quiesced)
+	s.prof.Exit(t)
 }

@@ -11,6 +11,7 @@ import (
 	"asap/internal/arch"
 	"asap/internal/cache"
 	"asap/internal/machine"
+	"asap/internal/obs"
 	"asap/internal/sim"
 	"asap/internal/stats"
 )
@@ -35,6 +36,14 @@ type NP struct {
 
 	nest    map[int]int
 	beginAt map[int]uint64
+
+	prof *obs.Profiler
+}
+
+// SetProfiler attaches a stall-attribution profiler (nil detaches).
+func (s *NP) SetProfiler(p *obs.Profiler) {
+	s.prof = p
+	s.m.Caches.SetProfiler(p)
 }
 
 var _ machine.Scheme = (*NP)(nil)
@@ -90,7 +99,9 @@ func (s *NP) Store(t *sim.Thread, addr uint64, data []byte) {
 
 // DrainBarrier implements machine.Scheme.
 func (s *NP) DrainBarrier(t *sim.Thread) {
+	s.prof.Enter(t, obs.Drain)
 	t.WaitUntil(s.m.Fabric.Quiesced)
+	s.prof.Exit(t)
 }
 
 func (s *NP) onEvict(info cache.EvictInfo) {

@@ -7,6 +7,7 @@ import (
 	"asap/internal/cache"
 	"asap/internal/machine"
 	"asap/internal/memdev"
+	"asap/internal/obs"
 	"asap/internal/sim"
 	"asap/internal/stats"
 	"asap/internal/wal"
@@ -42,6 +43,14 @@ type SW struct {
 	// InstrOverhead models the extra instructions of software logging per
 	// persist operation (bookkeeping, address computation).
 	InstrOverhead uint64
+
+	prof *obs.Profiler
+}
+
+// SetProfiler attaches a stall-attribution profiler (nil detaches).
+func (s *SW) SetProfiler(p *obs.Profiler) {
+	s.prof = p
+	s.m.Caches.SetProfiler(p)
 }
 
 var _ machine.Scheme = (*SW)(nil)
@@ -120,7 +129,9 @@ func (s *SW) End(t *sim.Thread) {
 		}, func(uint64) { ts.pending--; s.m.Caches.MarkClean(line) })
 		t.Advance(s.InstrOverhead)
 	}
+	s.prof.Enter(t, obs.FenceWait)
 	t.WaitUntil(func() bool { return ts.pending == 0 })
+	s.prof.Exit(t)
 
 	if !s.DPOOnly && len(ts.logged) > 0 {
 		// Persist the commit record (log truncation point) and wait.
@@ -129,7 +140,9 @@ func (s *SW) End(t *sim.Thread) {
 		s.m.Fabric.SubmitPersist(&memdev.Entry{
 			Kind: memdev.KindLogHeader, Dst: ts.rec, Subject: ts.rec, Payload: hdr,
 		}, func(uint64) { ts.pending-- })
+		s.prof.Enter(t, obs.FenceWait)
 		t.WaitUntil(func() bool { return ts.pending == 0 })
+		s.prof.Exit(t)
 		ts.log.FreeUpTo(ts.logEnd)
 		ts.rec, ts.recUsed = 0, 0
 	}
@@ -193,7 +206,9 @@ func (s *SW) appendUndo(t *sim.Thread, ts *swThread, line arch.LineAddr) arch.Li
 		hdr, end, ok := ts.log.AllocRecord()
 		if !ok {
 			s.m.St.Inc(stats.LogOverflows)
+			s.prof.Enter(t, obs.LogOverflow)
 			t.Advance(2000)
+			s.prof.Exit(t)
 			ts.log.Grow()
 			hdr, end, _ = ts.log.AllocRecord()
 		}
@@ -212,13 +227,17 @@ func (s *SW) appendUndo(t *sim.Thread, ts *swThread, line arch.LineAddr) arch.Li
 	s.m.Fabric.SubmitPersist(&memdev.Entry{
 		Kind: memdev.KindLPO, Dst: logLine, Subject: line, Payload: payload,
 	}, func(uint64) { ts.pending--; s.m.Caches.MarkClean(logLine) })
+	s.prof.Enter(t, obs.FenceWait)
 	t.WaitUntil(func() bool { return ts.pending == 0 })
+	s.prof.Exit(t)
 	return logLine
 }
 
 // DrainBarrier implements machine.Scheme.
 func (s *SW) DrainBarrier(t *sim.Thread) {
+	s.prof.Enter(t, obs.Drain)
 	t.WaitUntil(s.m.Fabric.Quiesced)
+	s.prof.Exit(t)
 }
 
 // evictWriteback is the shared dirty-line LLC eviction path for schemes

@@ -24,6 +24,7 @@ type Kernel struct {
 	parked  chan *Thread
 	running bool
 	halted  bool
+	obs     Observer
 }
 
 // Halt makes Run return at the next scheduling decision without running
@@ -57,6 +58,9 @@ func (k *Kernel) Spawn(name string, fn func(t *Thread)) *Thread {
 		resume: make(chan struct{}),
 	}
 	k.threads = append(k.threads, t)
+	if k.obs != nil {
+		k.obs.ThreadStart(t)
+	}
 	go func() {
 		<-t.resume
 		fn(t)
@@ -102,6 +106,9 @@ func (k *Kernel) Run() {
 			heap.Pop(&k.events)
 			if ev.at > k.now {
 				k.now = ev.at
+				if k.obs != nil {
+					k.obs.Tick(k.now)
+				}
 			}
 			ev.fn()
 		case t != nil:
@@ -112,10 +119,17 @@ func (k *Kernel) Run() {
 				t.state = stateRunnable
 			}
 			if k.now > t.now {
+				delta := k.now - t.now
 				t.now = k.now
+				if k.obs != nil {
+					k.obs.ClockAdvance(t, delta)
+				}
 			}
 			if t.now > k.now {
 				k.now = t.now
+				if k.obs != nil {
+					k.obs.Tick(k.now)
+				}
 			}
 			t.resume <- struct{}{}
 			<-k.parked

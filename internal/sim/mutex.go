@@ -21,9 +21,18 @@ func (m *Mutex) cost() uint64 {
 	return m.AcquireCost
 }
 
-// Lock blocks t until the mutex is free, then takes it.
+// Lock blocks t until the mutex is free, then takes it. A contended wait
+// is reported to the kernel's observer as lock time.
 func (m *Mutex) Lock(t *Thread) {
-	t.WaitUntil(func() bool { return m.holder == nil })
+	if m.holder != nil {
+		if o := t.k.obs; o != nil {
+			o.LockBegin(t)
+			t.WaitUntil(func() bool { return m.holder == nil })
+			o.LockEnd(t)
+		} else {
+			t.WaitUntil(func() bool { return m.holder == nil })
+		}
+	}
 	m.holder = t
 	t.Advance(m.cost())
 }

@@ -1,0 +1,39 @@
+package sim
+
+// Observer receives passive callbacks from the kernel and its threads: it
+// is the attachment point for profilers and time-series recorders. An
+// observer must never mutate simulation state or schedule events — the
+// kernel guarantees that attaching one changes no simulated outcome, only
+// what is recorded about it. All callbacks run with at most one simulated
+// thread executing, so observers need no locking.
+//
+// A nil observer (the default) costs one pointer comparison per clock
+// movement and nothing else.
+type Observer interface {
+	// ThreadStart fires when a thread is spawned, at the thread's initial
+	// virtual time.
+	ThreadStart(t *Thread)
+	// ClockAdvance fires whenever t's virtual clock moves forward: after
+	// an explicit Advance, or when the kernel pulls a lagging or blocked
+	// thread up to the kernel clock. t.Now() is the post-advance time;
+	// delta is how far the clock moved. Summed per thread, the deltas
+	// cover the thread's lifetime exactly.
+	ClockAdvance(t *Thread, delta uint64)
+	// LockBegin/LockEnd bracket a contended Mutex.Lock: the wait between
+	// them is lock-contention time, not compute.
+	LockBegin(t *Thread)
+	LockEnd(t *Thread)
+	// Tick fires whenever the kernel clock advances (to a fired event's
+	// time or a running thread's time). Recorders use it to sample gauges
+	// without injecting events into the queue — the event stream, and with
+	// it the simulation, stays byte-identical.
+	Tick(now uint64)
+}
+
+// SetObserver attaches o to the kernel (nil detaches). Attach before Run;
+// threads spawned earlier are reported to the observer on their first
+// clock movement rather than at spawn.
+func (k *Kernel) SetObserver(o Observer) { k.obs = o }
+
+// Observer returns the attached observer, if any.
+func (k *Kernel) Observer() Observer { return k.obs }

@@ -39,6 +39,9 @@ func (t *Thread) Kernel() *Kernel { return t.k }
 // kernel so other threads and events at earlier times can run.
 func (t *Thread) Advance(cycles uint64) {
 	t.now += cycles
+	if t.k.obs != nil && cycles > 0 {
+		t.k.obs.ClockAdvance(t, cycles)
+	}
 	t.yield()
 }
 

@@ -5,6 +5,7 @@ package stats
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -133,7 +134,7 @@ func histIndex(v uint64) int {
 	if v < histSub {
 		return int(v) // exact below one octave of sub-buckets
 	}
-	octave := 63 - leadingZeros64(v)
+	octave := 63 - bits.LeadingZeros64(v)
 	sub := int(v>>(uint(octave)-3)) & (histSub - 1)
 	return octave*histSub + sub
 }
@@ -146,15 +147,6 @@ func histUpper(idx int) uint64 {
 	octave := idx / histSub
 	sub := idx % histSub
 	return (uint64(histSub+sub+1) << (uint(octave) - 3)) - 1
-}
-
-func leadingZeros64(v uint64) int {
-	n := 0
-	for v&(1<<63) == 0 {
-		v <<= 1
-		n++
-	}
-	return n
 }
 
 // Observe records one value.
@@ -215,3 +207,11 @@ const RegionLatency = "region.latency"
 // asynchrony window that ASAP overlaps with execution. Synchronous
 // schemes have a zero lag by construction.
 const CommitLag = "region.commitlag"
+
+// WPQDepth is the histogram of per-channel WPQ occupancy, observed at
+// every accept.
+const WPQDepth = "wpq.depth"
+
+// LHWPQDepth is the histogram of per-channel LH-WPQ live entries,
+// observed at every accept on that channel.
+const LHWPQDepth = "lhwpq.depth"

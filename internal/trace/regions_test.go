@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"testing"
+
+	"asap/internal/arch"
+)
+
+// TestRegionsFirstAppearance: Regions returns distinct RIDs in first-
+// appearance order, counting a dependence target (DepAdd aux) as an
+// appearance and skipping NoRID.
+func TestRegionsFirstAppearance(t *testing.T) {
+	r1 := arch.MakeRID(0, 1)
+	r2 := arch.MakeRID(1, 1)
+	r3 := arch.MakeRID(2, 1)
+	b := NewBuffer(16)
+	b.Emit(Event{At: 1, Kind: RegionBegin, RID: r1})
+	b.Emit(Event{At: 2, Kind: RegionBegin, RID: r2})
+	b.Emit(Event{At: 3, Kind: DepAdd, RID: r2, Aux: uint64(r3)}) // r3 first seen as aux
+	b.Emit(Event{At: 4, Kind: RegionBegin, RID: r3})
+	b.Emit(Event{At: 5, Kind: Migrate, RID: arch.NoRID, Aux: 2})
+	b.Emit(Event{At: 6, Kind: RegionEnd, RID: r1})
+
+	got := b.Regions()
+	want := []arch.RID{r1, r2, r3}
+	if len(got) != len(want) {
+		t.Fatalf("Regions() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Regions()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestByRegionOrdering: each region's extracted stream preserves emission
+// order, and a DepAdd shows up under both endpoints.
+func TestByRegionOrdering(t *testing.T) {
+	r1 := arch.MakeRID(0, 1)
+	r2 := arch.MakeRID(1, 1)
+	b := NewBuffer(16)
+	b.Emit(Event{At: 1, Kind: RegionBegin, RID: r1})
+	b.Emit(Event{At: 2, Kind: RegionBegin, RID: r2})
+	b.Emit(Event{At: 3, Kind: LPOIssue, RID: r1, Line: 64})
+	b.Emit(Event{At: 4, Kind: DepAdd, RID: r2, Aux: uint64(r1)})
+	b.Emit(Event{At: 5, Kind: RegionEnd, RID: r1})
+	b.Emit(Event{At: 6, Kind: RegionEnd, RID: r2})
+
+	rids, events := b.ByRegion()
+	if len(rids) != 2 || rids[0] != r1 || rids[1] != r2 {
+		t.Fatalf("rids = %v, want [%v %v]", rids, r1, r2)
+	}
+	wantAt := map[arch.RID][]uint64{
+		r1: {1, 3, 4, 5}, // DepAdd at 4 referenced r1 via aux
+		r2: {2, 4, 6},
+	}
+	for rid, want := range wantAt {
+		got := events[rid]
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d events, want %d", rid, len(got), len(want))
+		}
+		for i, e := range got {
+			if e.At != want[i] {
+				t.Fatalf("%v event %d at cycle %d, want %d (order broken)", rid, i, e.At, want[i])
+			}
+		}
+	}
+}
+
+// TestEventsOldestFirstAcrossWrap: after the ring wraps, Events (and
+// everything layered on it: Filter, OfRegion, Regions) still returns the
+// retained window oldest-first.
+func TestEventsOldestFirstAcrossWrap(t *testing.T) {
+	r := arch.MakeRID(0, 1)
+	b := NewBuffer(4)
+	for at := uint64(1); at <= 6; at++ {
+		b.Emit(Event{At: at, Kind: LPOIssue, RID: r})
+	}
+	got := b.Events()
+	if len(got) != 4 || b.Total() != 6 {
+		t.Fatalf("retained %d of %d, want 4 of 6", len(got), b.Total())
+	}
+	for i, e := range got {
+		if e.At != uint64(3+i) {
+			t.Fatalf("Events()[%d].At = %d, want %d (oldest-first)", i, e.At, 3+i)
+		}
+	}
+	if f := b.Filter(LPOIssue); len(f) != 4 || f[0].At != 3 {
+		t.Fatalf("Filter after wrap = %v", f)
+	}
+}
+
+// TestRegionsAfterWrap: a region whose every event was evicted no longer
+// appears.
+func TestRegionsAfterWrap(t *testing.T) {
+	old := arch.MakeRID(0, 1)
+	cur := arch.MakeRID(1, 1)
+	b := NewBuffer(2)
+	b.Emit(Event{At: 1, Kind: RegionBegin, RID: old})
+	b.Emit(Event{At: 2, Kind: RegionBegin, RID: cur})
+	b.Emit(Event{At: 3, Kind: RegionEnd, RID: cur})
+	got := b.Regions()
+	if len(got) != 1 || got[0] != cur {
+		t.Fatalf("Regions after wrap = %v, want [%v]", got, cur)
+	}
+}

@@ -154,6 +154,39 @@ func (b *Buffer) OfRegion(rid arch.RID) []Event {
 	return out
 }
 
+// Regions returns the distinct RIDs appearing in the retained events (as
+// subject or dependence aux), in order of first appearance. NoRID is
+// skipped.
+func (b *Buffer) Regions() []arch.RID {
+	seen := map[arch.RID]bool{}
+	var out []arch.RID
+	note := func(rid arch.RID) {
+		if rid != arch.NoRID && !seen[rid] {
+			seen[rid] = true
+			out = append(out, rid)
+		}
+	}
+	for _, e := range b.Events() {
+		note(e.RID)
+		if e.Kind == DepAdd {
+			note(arch.RID(e.Aux))
+		}
+	}
+	return out
+}
+
+// ByRegion splits the retained events by region, preserving event order
+// within each region (DepAdd events appear under both endpoints). The
+// returned RIDs follow Regions() order.
+func (b *Buffer) ByRegion() (rids []arch.RID, events map[arch.RID][]Event) {
+	rids = b.Regions()
+	events = make(map[arch.RID][]Event, len(rids))
+	for _, rid := range rids {
+		events[rid] = b.OfRegion(rid)
+	}
+	return rids, events
+}
+
 // String dumps the retained events.
 func (b *Buffer) String() string {
 	var sb strings.Builder

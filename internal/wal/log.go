@@ -60,6 +60,9 @@ func (l *ThreadLog) Tail() uint64 { return l.tail }
 // Overflows returns how many times the buffer overflowed and was grown.
 func (l *ThreadLog) Overflows() int { return l.overflows }
 
+// Live returns the number of live (allocated, not yet freed) bytes.
+func (l *ThreadLog) Live() uint64 { return l.tail - l.head }
+
 // live returns the number of live bytes.
 func (l *ThreadLog) live() uint64 { return l.tail - l.head }
 
