@@ -6,6 +6,7 @@
 //	asapbench -experiment all -full               # everything, paper scale
 //	asapbench -experiment all -parallel 8         # fan runs across 8 workers
 //	asapbench -experiment fig1 -json timings.json # machine-readable timings
+//	asapbench -experiment all -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // Experiments: fig1 fig7 fig8 fig9a fig9b fig10 lhwpq area config all,
 // plus "profile" (cycle accounting across schemes; not part of "all" so
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"asap/internal/area"
@@ -63,7 +65,25 @@ func run() int {
 	parallel := flag.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	jsonPath := flag.String("json", "", "write per-experiment and per-job timings as JSON to this path")
 	progress := flag.Bool("progress", isTerminal(os.Stderr), "print a live progress line to stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this path")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		stop, err := startCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asapbench: %v\n", err)
+			return 1
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeHeapProfile(*memProfile); err != nil {
+				fmt.Fprintf(os.Stderr, "asapbench: %v\n", err)
+			}
+		}()
+	}
 
 	pool := runner.New(*parallel)
 	jobLog := &stats.JobLog{}
@@ -198,6 +218,38 @@ func writeJSON(path string, rep timingReport) error {
 		return err
 	}
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// startCPUProfile begins CPU profiling into path and returns the stop
+// function that also closes the file.
+func startCPUProfile(path string) (func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeHeapProfile snapshots the heap (after a GC, so the profile shows
+// live objects plus accurate allocation totals) into path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // isTerminal reports whether f is a character device, gating the default

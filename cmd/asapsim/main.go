@@ -11,6 +11,10 @@
 //	asapsim -bench Q -scheme ASAP -profile-json p.json   # machine-readable buckets
 //	asapsim -bench Q -scheme ASAP -timeline trace.json   # Perfetto/chrome://tracing
 //	asapsim -bench Q -scheme ASAP -series occ.csv        # occupancy time series
+//
+// Performance profiling of the simulator itself (go tool pprof):
+//
+//	asapsim -bench Q -scheme ASAP -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 package main
 
 import (
@@ -18,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -45,7 +51,36 @@ func run() int {
 	timeline := flag.String("timeline", "", "write a Perfetto/Chrome trace.json timeline to this path")
 	series := flag.String("series", "", "write the occupancy time series to this path (.json for JSON, else CSV)")
 	seriesInterval := flag.Uint64("series-interval", 1000, "time-series sampling interval in cycles")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this path")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asapsim: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "asapsim: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeTo(*memProfile, func(w io.Writer) error {
+				runtime.GC()
+				return pprof.WriteHeapProfile(w)
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "asapsim: %v\n", err)
+			}
+		}()
+	}
 
 	if workload.ByName(*bench) == nil {
 		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)

@@ -18,9 +18,12 @@ type level struct {
 }
 
 func newLevel(cfg LevelConfig) *level {
+	// One backing array for all sets: building a machine per experiment
+	// run makes per-set allocation the dominant construction cost.
 	l := &level{cfg: cfg, sets: make([][]slot, cfg.Sets)}
+	backing := make([]slot, cfg.Sets*cfg.Ways)
 	for i := range l.sets {
-		l.sets[i] = make([]slot, cfg.Ways)
+		l.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
 	return l
 }

@@ -18,13 +18,13 @@ import (
 // capture on persistent lines (§4.6.3).
 func (e *Engine) Load(t *sim.Thread, addr uint64, buf []byte) {
 	ts := e.state(t)
-	for _, line := range machine.LinesOf(addr, len(buf)) {
+	machine.VisitLines(addr, len(buf), func(line arch.LineAddr) {
 		lat := e.m.Caches.AccessBlocking(t, ts.core, line, false)
 		t.Advance(lat)
 		if e.m.Heap.IsPersistentLine(line) {
 			e.onPersistentAccess(t, ts, line, false)
 		}
-	}
+	})
 	e.m.Heap.Read(addr, buf)
 }
 
@@ -34,13 +34,13 @@ func (e *Engine) Load(t *sim.Thread, addr uint64, buf []byte) {
 // undo log.
 func (e *Engine) Store(t *sim.Thread, addr uint64, data []byte) {
 	ts := e.state(t)
-	for _, line := range machine.LinesOf(addr, len(data)) {
+	machine.VisitLines(addr, len(data), func(line arch.LineAddr) {
 		lat := e.m.Caches.AccessBlocking(t, ts.core, line, true)
 		t.Advance(lat)
 		if e.m.Heap.IsPersistentLine(line) {
 			e.onPersistentAccess(t, ts, line, true)
 		}
-	}
+	})
 	e.m.Heap.Write(addr, data)
 }
 

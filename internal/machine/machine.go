@@ -101,19 +101,29 @@ type DeferredFreer interface {
 
 // LinesOf returns every line touched by [addr, addr+size).
 func LinesOf(addr uint64, size int) []arch.LineAddr {
+	var out []arch.LineAddr
+	VisitLines(addr, size, func(l arch.LineAddr) {
+		out = append(out, l)
+	})
+	return out
+}
+
+// VisitLines calls fn for every line touched by [addr, addr+size), in
+// ascending order. It is the allocation-free form of LinesOf for the
+// access hot paths: every load and store in every scheme walks its lines
+// through here.
+func VisitLines(addr uint64, size int, fn func(arch.LineAddr)) {
 	if size <= 0 {
 		size = 1
 	}
 	first := arch.LineOf(addr)
 	last := arch.LineOf(addr + uint64(size) - 1)
-	var out []arch.LineAddr
 	for l := first; ; l += arch.LineSize {
-		out = append(out, l)
+		fn(l)
 		if l >= last {
 			break
 		}
 	}
-	return out
 }
 
 // Access charges cache latency for one data access by t covering
@@ -123,12 +133,12 @@ func LinesOf(addr uint64, size int) []arch.LineAddr {
 func (m *Machine) Access(t *sim.Thread, addr uint64, size int, write bool, touched func(line arch.LineAddr)) {
 	core := m.CoreOf(t)
 	var total uint64
-	for _, line := range LinesOf(addr, size) {
+	VisitLines(addr, size, func(line arch.LineAddr) {
 		if touched != nil {
 			touched(line)
 		}
 		total += m.Caches.AccessBlocking(t, core, line, write)
-	}
+	})
 	t.Advance(total)
 }
 

@@ -23,6 +23,14 @@ type Channel struct {
 
 	lh *LHWPQ
 	fi FaultInjector // consulted at ADR flush; nil = ideal ADR
+
+	// pickupFn and finishFn are the drain engine's event callbacks,
+	// created once per channel: persists are the event hot loop, and
+	// per-op closures would otherwise dominate steady-state allocation.
+	// A single cached finishFn is sound because at most one device
+	// write is in flight per channel.
+	pickupFn func()
+	finishFn func()
 }
 
 type arrival struct {
@@ -31,7 +39,7 @@ type arrival struct {
 }
 
 func newChannel(id int, cfg *Config, k *sim.Kernel, st *stats.Set, pm *Image) *Channel {
-	return &Channel{
+	c := &Channel{
 		id:  id,
 		cfg: cfg,
 		k:   k,
@@ -39,6 +47,12 @@ func newChannel(id int, cfg *Config, k *sim.Kernel, st *stats.Set, pm *Image) *C
 		pm:  pm,
 		lh:  newLHWPQ(cfg.LHWPQEntries),
 	}
+	c.pickupFn = func() {
+		c.pickupPending = false
+		c.startDrain()
+	}
+	c.finishFn = c.finishDrain
+	return c
 }
 
 // ID returns the channel index within the fabric.
@@ -101,10 +115,7 @@ func (c *Channel) startDrain() {
 		return
 	}
 	c.pickupPending = true
-	c.k.Schedule(ready, func() {
-		c.pickupPending = false
-		c.startDrain()
-	})
+	c.k.Schedule(ready, c.pickupFn)
 }
 
 // issue commits the head entry to the device (no longer droppable).
@@ -118,10 +129,14 @@ func (c *Channel) issue(e *Entry) {
 	c.queue = c.queue[1:]
 	e.draining = true
 	c.inflight = e
-	c.k.ScheduleAfter(c.cfg.PMWrite(), func() { c.finishDrain(e) })
+	c.k.ScheduleAfter(c.cfg.PMWrite(), c.finishFn)
 }
 
-func (c *Channel) finishDrain(e *Entry) {
+// finishDrain completes the in-flight device write. The entry is read
+// from c.inflight (there is at most one) so the scheduled callback needs
+// no per-op capture.
+func (c *Channel) finishDrain() {
+	e := c.inflight
 	c.pm.Write(e.Dst, e.Payload)
 	c.st.Inc(stats.PMWrites)
 	c.inflight = nil

@@ -261,7 +261,7 @@ func (s *ASAPRedo) DrainBarrier(t *sim.Thread) {
 // penalties.
 func (s *ASAPRedo) Load(t *sim.Thread, addr uint64, buf []byte) {
 	ts := s.state(t)
-	for _, line := range machine.LinesOf(addr, len(buf)) {
+	machine.VisitLines(addr, len(buf), func(line arch.LineAddr) {
 		lat := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, false)
 		if s.redirect[line] {
 			lat += s.RedirectPenalty
@@ -270,7 +270,7 @@ func (s *ASAPRedo) Load(t *sim.Thread, addr uint64, buf []byte) {
 		if s.m.Heap.IsPersistentLine(line) && ts.cur != nil {
 			s.captureDep(ts.cur, line, false)
 		}
-	}
+	})
 	s.m.Heap.Read(addr, buf)
 }
 
@@ -278,15 +278,15 @@ func (s *ASAPRedo) Load(t *sim.Thread, addr uint64, buf []byte) {
 // redo logging, dependence capture and ownership transfer.
 func (s *ASAPRedo) Store(t *sim.Thread, addr uint64, data []byte) {
 	ts := s.state(t)
-	for _, line := range machine.LinesOf(addr, len(data)) {
+	machine.VisitLines(addr, len(data), func(line arch.LineAddr) {
 		lat := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, true)
 		t.Advance(lat)
 		if !s.m.Heap.IsPersistentLine(line) || ts.cur == nil {
-			continue
+			return
 		}
 		s.captureDep(ts.cur, line, true)
 		ts.cur.dirty[line] = true
-	}
+	})
 	if ts.cur != nil && s.m.Heap.IsPersistentAddr(addr) {
 		r := ts.cur
 		r.words += (len(data) + 7) / 8

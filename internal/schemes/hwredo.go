@@ -182,13 +182,13 @@ func (s *HWRedo) Fence(t *sim.Thread) { s.m.St.Inc(stats.Fences) }
 // Load implements machine.Scheme, charging the log-redirection penalty for
 // lines whose in-cache copy was evicted before commit (§2.3).
 func (s *HWRedo) Load(t *sim.Thread, addr uint64, buf []byte) {
-	for _, line := range machine.LinesOf(addr, len(buf)) {
+	machine.VisitLines(addr, len(buf), func(line arch.LineAddr) {
 		lat := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, false)
 		if s.redirect[line] {
 			lat += s.RedirectPenalty
 		}
 		t.Advance(lat)
-	}
+	})
 	s.m.Heap.Read(addr, buf)
 }
 
@@ -197,15 +197,15 @@ func (s *HWRedo) Load(t *sim.Thread, addr uint64, buf []byte) {
 // per eight words.
 func (s *HWRedo) Store(t *sim.Thread, addr uint64, data []byte) {
 	ts := s.state(t)
-	for _, line := range machine.LinesOf(addr, len(data)) {
+	machine.VisitLines(addr, len(data), func(line arch.LineAddr) {
 		lat := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, true)
 		t.Advance(lat)
 		if !s.m.Heap.IsPersistentLine(line) || ts.nest == 0 {
-			continue
+			return
 		}
 		ts.dirty[line] = true
 		s.owned[line] = ts.rid
-	}
+	})
 	if ts.nest > 0 && s.m.Heap.IsPersistentAddr(addr) {
 		words := (len(data) + 7) / 8
 		ts.words += words

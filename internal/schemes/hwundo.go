@@ -152,23 +152,23 @@ func (s *HWUndo) Load(t *sim.Thread, addr uint64, buf []byte) {
 // first write to each line, transparently and asynchronously.
 func (s *HWUndo) Store(t *sim.Thread, addr uint64, data []byte) {
 	ts := s.state(t)
-	for _, line := range machine.LinesOf(addr, len(data)) {
+	machine.VisitLines(addr, len(data), func(line arch.LineAddr) {
 		lat := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, true)
 		t.Advance(lat)
 		if !s.m.Heap.IsPersistentLine(line) || ts.nest == 0 {
-			continue
+			return
 		}
 		ts.dirty[line] = true
 		delete(ts.dpoDone, line) // rewritten: the eager DPO is stale
 		if ts.logged[line] {
-			continue
+			return
 		}
 		ts.logged[line] = true
 		s.prof.Enter(t, obs.WPQFull)
 		t.WaitUntil(func() bool { return ts.pendingLPOs+ts.pendingDPOs < s.Window })
 		s.prof.Exit(t)
 		s.issueLPO(t, ts, line)
-	}
+	})
 	s.m.Heap.Write(addr, data)
 }
 

@@ -180,22 +180,22 @@ func (s *SW) Load(t *sim.Thread, addr uint64, buf []byte) {
 // proceed — the write-ahead rule enforced in software.
 func (s *SW) Store(t *sim.Thread, addr uint64, data []byte) {
 	ts := s.state(t)
-	for _, line := range machine.LinesOf(addr, len(data)) {
+	machine.VisitLines(addr, len(data), func(line arch.LineAddr) {
 		lat := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, true)
 		t.Advance(lat)
 		if !s.m.Heap.IsPersistentLine(line) || ts.nest == 0 {
-			continue
+			return
 		}
 		ts.dirty[line] = true
 		if s.DPOOnly {
-			continue
+			return
 		}
 		if _, done := ts.logged[line]; done {
-			continue // hand-coalesced: one undo entry per line per region
+			return // hand-coalesced: one undo entry per line per region
 		}
 		logLine := s.appendUndo(t, ts, line)
 		ts.logged[line] = logLine
-	}
+	})
 	s.m.Heap.Write(addr, data)
 }
 

@@ -1,33 +1,101 @@
 package sim
 
 // event is one scheduled callback in the kernel's time-ordered queue.
+// Fired events are recycled through the queue's free list, so steady-state
+// scheduling allocates nothing (see DESIGN.md §10).
 type event struct {
 	at  uint64
 	seq uint64 // insertion order, breaks ties deterministically
 	fn  func()
 }
 
-// eventQueue is a min-heap of events ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
+// eventQueue is a min-heap of events ordered by (at, seq), with a free
+// list of fired events. It is hand-rolled rather than container/heap so
+// pushes and pops stay free of interface conversions and indirect calls.
+type eventQueue struct {
+	heap []*event
+	free []*event
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+// eventBefore is the queue's strict weak order: earlier cycle first,
+// insertion order as the tiebreak.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
 
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+// get returns a recycled or fresh event initialized to (at, seq, fn).
+func (q *eventQueue) get(at, seq uint64, fn func()) *event {
+	if n := len(q.free); n > 0 {
+		ev := q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		ev.at, ev.seq, ev.fn = at, seq, fn
+		return ev
+	}
+	return &event{at: at, seq: seq, fn: fn}
+}
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+// put recycles a fired event. The callback is dropped immediately so the
+// free list never keeps closure captures alive.
+func (q *eventQueue) put(ev *event) {
+	ev.fn = nil
+	q.free = append(q.free, ev)
+}
+
+func (q *eventQueue) len() int { return len(q.heap) }
+
+// peek returns the earliest event without removing it, or nil.
+func (q *eventQueue) peek() *event {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return q.heap[0]
+}
+
+func (q *eventQueue) push(ev *event) {
+	q.heap = append(q.heap, ev)
+	// Sift up.
+	h := q.heap
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventBefore(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event. The caller must recycle it
+// with put once the callback has run.
+func (q *eventQueue) pop() *event {
+	h := q.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	q.heap = h[:n]
+	// Sift down.
+	h = q.heap
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && eventBefore(h[l], h[min]) {
+			min = l
+		}
+		if r < n && eventBefore(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
 }

@@ -5,10 +5,17 @@
 // fires scheduled hardware events at exact cycles. Scheduling is
 // lowest-virtual-clock-first with a monotone sequence number as tiebreaker,
 // so a simulation is fully reproducible.
+//
+// The inner loop is built for wall-clock speed without changing a single
+// scheduling decision (DESIGN.md §10): threads that remain the unique
+// earliest entity resume directly from their own yield (no goroutine
+// handoff), runnable threads wait in an indexed run queue instead of being
+// rescanned, blocked threads live in a separate waiter set so predicates
+// are polled only over the blocked subset, and fired events are pooled so
+// Schedule allocates nothing steady-state.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -16,8 +23,16 @@ import (
 
 // Kernel is the simulation scheduler. The zero value is not usable; create
 // one with NewKernel.
+//
+// Scheduling state invariant: between steps, every live thread is in
+// exactly one place — the run queue (runnable, waiting for dispatch), the
+// waiter set (blocked on a predicate), or running (at most one, currently
+// executing between the kernel's resume and the thread's next park).
+// Finished threads are dropped at park time.
 type Kernel struct {
 	threads []*Thread
+	runq    runQueue
+	waiters []*Thread // blocked threads, ascending spawn order
 	events  eventQueue
 	now     uint64
 	seq     uint64
@@ -58,6 +73,7 @@ func (k *Kernel) Spawn(name string, fn func(t *Thread)) *Thread {
 		resume: make(chan struct{}),
 	}
 	k.threads = append(k.threads, t)
+	k.runq.push(t)
 	if k.obs != nil {
 		k.obs.ThreadStart(t)
 	}
@@ -76,7 +92,7 @@ func (k *Kernel) Spawn(name string, fn func(t *Thread)) *Thread {
 // mutate shared hardware state freely.
 func (k *Kernel) Schedule(at uint64, fn func()) {
 	k.seq++
-	heap.Push(&k.events, &event{at: at, seq: k.seq, fn: fn})
+	k.events.push(k.events.get(at, k.seq, fn))
 }
 
 // ScheduleAfter registers fn to run delay cycles from now.
@@ -98,25 +114,30 @@ func (k *Kernel) Run() {
 		if k.halted {
 			return
 		}
-		t := k.nextRunnable()
-		ev := k.peekEvent()
+		t, tEff := k.pickThread()
+		ev := k.events.peek()
 
 		switch {
-		case ev != nil && (t == nil || ev.at <= k.effectiveTime(t)):
-			heap.Pop(&k.events)
+		case ev != nil && (t == nil || ev.at <= tEff):
+			k.events.pop()
 			if ev.at > k.now {
 				k.now = ev.at
 				if k.obs != nil {
 					k.obs.Tick(k.now)
 				}
 			}
-			ev.fn()
+			fn := ev.fn
+			k.events.put(ev)
+			fn()
 		case t != nil:
 			if t.state == stateBlocked {
-				// Re-checked by nextRunnable; claim the wakeup now so
-				// no sibling waiter can also slip past its predicate.
+				// Claim the wakeup now so no sibling waiter can also slip
+				// past its predicate before this thread reacts.
 				t.pred = nil
 				t.state = stateRunnable
+				k.removeWaiter(t)
+			} else {
+				k.runq.pop() // t is the run-queue minimum
 			}
 			if k.now > t.now {
 				delta := k.now - t.now
@@ -132,61 +153,115 @@ func (k *Kernel) Run() {
 				}
 			}
 			t.resume <- struct{}{}
-			<-k.parked
+			k.park(<-k.parked)
 		default:
-			if k.allDone() {
-				return
+			if len(k.waiters) == 0 {
+				return // run queue empty, no waiters: every thread is done
 			}
 			panic("sim: deadlock: " + k.blockedReport())
 		}
 	}
 }
 
-// effectiveTime is the earliest cycle at which t could execute its next
-// step: its own clock, or the kernel clock if it is blocked and must wait
-// for the unblocking instant.
-func (k *Kernel) effectiveTime(t *Thread) uint64 {
-	if t.state == stateBlocked && k.now > t.now {
-		return k.now
+// park files a thread that just yielded into the structure matching its
+// state. Finished threads are dropped; they never re-enter scheduling.
+func (k *Kernel) park(t *Thread) {
+	switch t.state {
+	case stateRunnable:
+		k.runq.push(t)
+	case stateBlocked:
+		k.insertWaiter(t)
 	}
-	return t.now
 }
 
-// nextRunnable returns the thread that should run next: among runnable
-// threads and blocked threads whose predicate currently holds, the one with
-// the smallest effective clock, breaking ties by spawn order. Predicates are
-// evaluated here, at scheduling time, so exactly one waiter can win a
-// just-freed resource.
-func (k *Kernel) nextRunnable() *Thread {
-	var best *Thread
-	for _, t := range k.threads {
-		switch t.state {
-		case stateRunnable:
-		case stateBlocked:
-			if !t.pred() {
-				continue
-			}
-		default:
+// pickThread returns the thread that should run next and its effective
+// time: among run-queue threads and blocked threads whose predicate
+// currently holds, the one with the smallest effective clock, breaking
+// ties by spawn order. Predicates are evaluated here, at scheduling time,
+// so exactly one waiter can win a just-freed resource — and only waiters
+// that could actually beat the run-queue minimum are polled, which is
+// safe because predicates are read-only.
+func (k *Kernel) pickThread() (*Thread, uint64) {
+	best := k.runq.peek()
+	var bestEff uint64
+	if best != nil {
+		bestEff = best.now // runnable: effective time is its own clock
+	}
+	for _, w := range k.waiters {
+		eff := w.now
+		if k.now > eff {
+			// Blocked threads lag: they can only resume at the instant the
+			// kernel unblocks them.
+			eff = k.now
+		}
+		if best != nil && (eff > bestEff || (eff == bestEff && w.id > best.id)) {
+			continue // cannot win regardless of its predicate
+		}
+		if !w.pred() {
 			continue
 		}
-		if best == nil || k.effectiveTime(t) < k.effectiveTime(best) {
-			best = t
+		best, bestEff = w, eff
+	}
+	return best, bestEff
+}
+
+// insertWaiter files t into the waiter set, keeping ascending spawn order
+// so pickThread's scan preserves the original tie-break.
+func (k *Kernel) insertWaiter(t *Thread) {
+	i := len(k.waiters)
+	for i > 0 && k.waiters[i-1].id > t.id {
+		i--
+	}
+	k.waiters = append(k.waiters, nil)
+	copy(k.waiters[i+1:], k.waiters[i:])
+	k.waiters[i] = t
+}
+
+// removeWaiter unfiles a claimed waiter.
+func (k *Kernel) removeWaiter(t *Thread) {
+	for i, w := range k.waiters {
+		if w == t {
+			k.waiters = append(k.waiters[:i], k.waiters[i+1:]...)
+			return
 		}
 	}
-	return best
+	panic("sim: blocked thread missing from waiter set: " + t.name)
 }
 
-func (k *Kernel) peekEvent() *event {
-	if len(k.events) == 0 {
-		return nil
+// fastResume is the direct-dispatch fast path, called from a runnable
+// thread's own yield. It reports whether t is still the unique next
+// scheduling choice — no pending event at or before t's clock, no
+// runnable thread and no satisfied waiter that would be picked instead —
+// and if so performs the dispatch bookkeeping (kernel clock advance and
+// observer Tick) inline, so control returns straight to t without the
+// park/resume goroutine round-trip. The decision procedure mirrors
+// pickThread exactly; only the handoff is elided.
+func (k *Kernel) fastResume(t *Thread) bool {
+	if k.halted {
+		return false // Run must regain control to stop the simulation
 	}
-	return k.events[0]
-}
-
-func (k *Kernel) allDone() bool {
-	for _, t := range k.threads {
-		if t.state != stateDone {
-			return false
+	if ev := k.events.peek(); ev != nil && ev.at <= t.now {
+		return false // an event fires first (events win ties)
+	}
+	if r := k.runq.peek(); r != nil && (r.now < t.now || (r.now == t.now && r.id < t.id)) {
+		return false // another runnable thread is earlier
+	}
+	for _, w := range k.waiters {
+		eff := w.now
+		if k.now > eff {
+			eff = k.now
+		}
+		if eff > t.now || (eff == t.now && w.id > t.id) {
+			continue // loses the tie-break to t even if unblocked
+		}
+		if w.pred() {
+			return false // an earlier waiter just became runnable
+		}
+	}
+	if t.now > k.now {
+		k.now = t.now
+		if k.obs != nil {
+			k.obs.Tick(k.now)
 		}
 	}
 	return true
@@ -194,10 +269,8 @@ func (k *Kernel) allDone() bool {
 
 func (k *Kernel) blockedReport() string {
 	var names []string
-	for _, t := range k.threads {
-		if t.state == stateBlocked {
-			names = append(names, fmt.Sprintf("%s@%d", t.name, t.now))
-		}
+	for _, t := range k.waiters {
+		names = append(names, fmt.Sprintf("%s@%d", t.name, t.now))
 	}
 	sort.Strings(names)
 	return strings.Join(names, ", ")

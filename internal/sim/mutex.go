@@ -12,6 +12,9 @@ type Mutex struct {
 	// AcquireCost is charged on every Lock; defaults to 4 cycles
 	// (an L1-hit compare-and-swap) when zero.
 	AcquireCost uint64
+	// freePred is the reusable contended-wait predicate, created on the
+	// first contended Lock so waits allocate no per-call closure.
+	freePred func() bool
 }
 
 func (m *Mutex) cost() uint64 {
@@ -25,12 +28,15 @@ func (m *Mutex) cost() uint64 {
 // is reported to the kernel's observer as lock time.
 func (m *Mutex) Lock(t *Thread) {
 	if m.holder != nil {
+		if m.freePred == nil {
+			m.freePred = func() bool { return m.holder == nil }
+		}
 		if o := t.k.obs; o != nil {
 			o.LockBegin(t)
-			t.WaitUntil(func() bool { return m.holder == nil })
+			t.WaitUntil(m.freePred)
 			o.LockEnd(t)
 		} else {
-			t.WaitUntil(func() bool { return m.holder == nil })
+			t.WaitUntil(m.freePred)
 		}
 	}
 	m.holder = t

@@ -1,0 +1,222 @@
+package sim
+
+// This file preserves the pre-optimization scheduler — goroutine handoff
+// on every yield, O(threads) linear rescan per decision, heap allocation
+// per Schedule — as a test-only reference implementation. The equivalence
+// property test in equivalence_test.go replays identical randomized
+// workloads on this kernel and the optimized one and requires bit-for-bit
+// identical step traces: same dispatch order, same cycles, same kernel
+// clock at every step. Any divergence means the fast path changed a
+// scheduling decision, which is the one thing it must never do.
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+type refEvent struct {
+	at  uint64
+	seq uint64
+	fn  func()
+}
+
+type refEventQueue []*refEvent
+
+func (q refEventQueue) Len() int { return len(q) }
+
+func (q refEventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q refEventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *refEventQueue) Push(x any) { *q = append(*q, x.(*refEvent)) }
+
+func (q *refEventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// refKernel is the seed kernel, verbatim modulo renames.
+type refKernel struct {
+	threads []*refThread
+	events  refEventQueue
+	now     uint64
+	seq     uint64
+	parked  chan *refThread
+	halted  bool
+}
+
+type refThread struct {
+	k      *refKernel
+	id     int
+	name   string
+	now    uint64
+	state  threadState
+	pred   func() bool
+	resume chan struct{}
+}
+
+func newRefKernel() *refKernel {
+	return &refKernel{parked: make(chan *refThread)}
+}
+
+func (k *refKernel) Halt() { k.halted = true }
+
+func (k *refKernel) Now() uint64 { return k.now }
+
+func (k *refKernel) Spawn(name string, fn func(t *refThread)) *refThread {
+	t := &refThread{
+		k:      k,
+		id:     len(k.threads),
+		name:   name,
+		now:    k.now,
+		state:  stateRunnable,
+		resume: make(chan struct{}),
+	}
+	k.threads = append(k.threads, t)
+	go func() {
+		<-t.resume
+		fn(t)
+		t.state = stateDone
+		k.parked <- t
+	}()
+	return t
+}
+
+func (k *refKernel) Schedule(at uint64, fn func()) {
+	k.seq++
+	heap.Push(&k.events, &refEvent{at: at, seq: k.seq, fn: fn})
+}
+
+func (k *refKernel) ScheduleAfter(delay uint64, fn func()) {
+	k.Schedule(k.now+delay, fn)
+}
+
+func (k *refKernel) Run() {
+	for {
+		if k.halted {
+			return
+		}
+		t := k.nextRunnable()
+		ev := k.peekEvent()
+
+		switch {
+		case ev != nil && (t == nil || ev.at <= k.effectiveTime(t)):
+			heap.Pop(&k.events)
+			if ev.at > k.now {
+				k.now = ev.at
+			}
+			ev.fn()
+		case t != nil:
+			if t.state == stateBlocked {
+				t.pred = nil
+				t.state = stateRunnable
+			}
+			if k.now > t.now {
+				t.now = k.now
+			}
+			if t.now > k.now {
+				k.now = t.now
+			}
+			t.resume <- struct{}{}
+			<-k.parked
+		default:
+			if k.allDone() {
+				return
+			}
+			panic("refsim: deadlock: " + k.blockedReport())
+		}
+	}
+}
+
+func (k *refKernel) effectiveTime(t *refThread) uint64 {
+	if t.state == stateBlocked && k.now > t.now {
+		return k.now
+	}
+	return t.now
+}
+
+func (k *refKernel) nextRunnable() *refThread {
+	var best *refThread
+	for _, t := range k.threads {
+		switch t.state {
+		case stateRunnable:
+		case stateBlocked:
+			if !t.pred() {
+				continue
+			}
+		default:
+			continue
+		}
+		if best == nil || k.effectiveTime(t) < k.effectiveTime(best) {
+			best = t
+		}
+	}
+	return best
+}
+
+func (k *refKernel) peekEvent() *refEvent {
+	if len(k.events) == 0 {
+		return nil
+	}
+	return k.events[0]
+}
+
+func (k *refKernel) allDone() bool {
+	for _, t := range k.threads {
+		if t.state != stateDone {
+			return false
+		}
+	}
+	return true
+}
+
+func (k *refKernel) blockedReport() string {
+	var names []string
+	for _, t := range k.threads {
+		if t.state == stateBlocked {
+			names = append(names, fmt.Sprintf("%s@%d", t.name, t.now))
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func (t *refThread) Advance(cycles uint64) {
+	t.now += cycles
+	t.yield()
+}
+
+func (t *refThread) Yield() { t.yield() }
+
+func (t *refThread) WaitUntil(pred func() bool) {
+	if pred() {
+		return
+	}
+	t.pred = pred
+	t.state = stateBlocked
+	t.yield()
+}
+
+func (t *refThread) SleepUntil(at uint64) {
+	if t.now >= at {
+		return
+	}
+	t.k.Schedule(at, func() {})
+	t.WaitUntil(func() bool { return t.k.now >= at })
+}
+
+func (t *refThread) yield() {
+	t.k.parked <- t
+	<-t.resume
+}

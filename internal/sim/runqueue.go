@@ -1,0 +1,72 @@
+package sim
+
+// runQueue is a min-heap of runnable (not running, not blocked) threads
+// keyed by (virtual clock, spawn order). A queued thread's clock is
+// immutable — clocks only move while a thread runs or at dispatch, and a
+// dispatched thread is popped first — so keys never change in place and
+// the heap needs no fix-up operations.
+type runQueue struct {
+	heap []*Thread
+}
+
+// threadBefore orders the queue: earliest clock first, spawn order as the
+// tiebreak. This is exactly the scan order the pre-index kernel used, so
+// the dispatch sequence is bit-for-bit unchanged.
+func threadBefore(a, b *Thread) bool {
+	if a.now != b.now {
+		return a.now < b.now
+	}
+	return a.id < b.id
+}
+
+func (q *runQueue) len() int { return len(q.heap) }
+
+// peek returns the earliest runnable thread without removing it, or nil.
+func (q *runQueue) peek() *Thread {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return q.heap[0]
+}
+
+func (q *runQueue) push(t *Thread) {
+	q.heap = append(q.heap, t)
+	h := q.heap
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !threadBefore(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest runnable thread.
+func (q *runQueue) pop() *Thread {
+	h := q.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	q.heap = h[:n]
+	h = q.heap
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && threadBefore(h[l], h[min]) {
+			min = l
+		}
+		if r < n && threadBefore(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}

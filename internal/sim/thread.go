@@ -20,6 +20,11 @@ type Thread struct {
 	state  threadState
 	pred   func() bool
 	resume chan struct{}
+
+	// sleepPred is the reusable SleepUntil predicate: it reads sleepAt so
+	// timed sleeps allocate no per-call closure. Created on first use.
+	sleepAt   uint64
+	sleepPred func() bool
 }
 
 // ID returns the thread's spawn index, used by hardware as the ThreadID part
@@ -54,7 +59,9 @@ func (t *Thread) Yield() { t.yield() }
 // and thread step, and the thread resumes immediately once it holds, with
 // its clock advanced to the unblocking time. Between WaitUntil returning and
 // the thread's next yield no other thread can run, so a resource guarded by
-// the predicate can be claimed race-free right after return.
+// the predicate can be claimed race-free right after return. Predicates
+// must be read-only: the kernel polls them at scheduling decisions and may
+// poll a given predicate more or fewer times than simulated time suggests.
 func (t *Thread) WaitUntil(pred func() bool) {
 	if pred() {
 		return
@@ -65,17 +72,35 @@ func (t *Thread) WaitUntil(pred func() bool) {
 }
 
 // SleepUntil blocks the thread until the kernel clock reaches cycle at.
+// Steady-state it allocates nothing: the anchor event comes from the
+// kernel's event pool and the predicate is reused across calls.
 func (t *Thread) SleepUntil(at uint64) {
 	if t.now >= at {
 		return
 	}
+	if t.sleepPred == nil {
+		t.sleepPred = func() bool { return t.k.now >= t.sleepAt }
+	}
+	t.sleepAt = at
 	// Anchor the wakeup with an empty event so the kernel clock is
 	// guaranteed to reach it even if nothing else is scheduled.
-	t.k.Schedule(at, func() {})
-	t.WaitUntil(func() bool { return t.k.now >= at })
+	t.k.Schedule(at, noopEvent)
+	t.WaitUntil(t.sleepPred)
 }
 
+// noopEvent anchors timed wakeups; being a named function it captures
+// nothing and costs no allocation to schedule.
+func noopEvent() {}
+
+// yield returns control to the scheduler. Fast path: if this thread is
+// still the unique earliest runnable entity, the kernel's dispatch
+// decision is computed inline and control returns immediately — same
+// scheduling outcome, no goroutine handoff. Otherwise the thread parks
+// and the kernel loop takes over.
 func (t *Thread) yield() {
+	if t.state == stateRunnable && t.k.fastResume(t) {
+		return
+	}
 	t.k.parked <- t
 	<-t.resume
 }

@@ -80,6 +80,12 @@ type Ctx struct {
 	Rng *rand.Rand
 
 	zipf *rand.Zipf
+
+	// u64 is the scratch buffer for LoadU64/StoreU64: the schemes copy
+	// in and out of it synchronously, so reusing it keeps the hottest
+	// workload accesses allocation-free (the array would otherwise
+	// escape through the Scheme interface call on every access).
+	u64 [8]byte
 }
 
 // NewCtx builds a context for thread t.
@@ -130,16 +136,14 @@ func (c *Ctx) Fence() { c.Env.S.Fence(c.T) }
 
 // LoadU64 reads a little-endian uint64 through the scheme.
 func (c *Ctx) LoadU64(addr uint64) uint64 {
-	var b [8]byte
-	c.Env.S.Load(c.T, addr, b[:])
-	return binary.LittleEndian.Uint64(b[:])
+	c.Env.S.Load(c.T, addr, c.u64[:])
+	return binary.LittleEndian.Uint64(c.u64[:])
 }
 
 // StoreU64 writes a little-endian uint64 through the scheme.
 func (c *Ctx) StoreU64(addr, v uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	c.Env.S.Store(c.T, addr, b[:])
+	binary.LittleEndian.PutUint64(c.u64[:], v)
+	c.Env.S.Store(c.T, addr, c.u64[:])
 }
 
 // LoadBytes reads n bytes through the scheme.
