@@ -170,8 +170,13 @@ func (s *System) Spawn(name string, fn func(t *Thread)) {
 	})
 }
 
-// Run drives the simulation until every thread finishes.
-func (s *System) Run() { s.m.K.Run() }
+// Run drives the simulation until every thread finishes. It returns a
+// *sim.StallError when the machine cannot make forward progress — a
+// deadlock among the spawned threads, or a livelock diagnosed by an
+// installed watchdog — with the blocked-thread report and queue gauges
+// attached. Existing call sites that ignore the result keep compiling;
+// robust callers should check it.
+func (s *System) Run() error { return s.m.K.Run() }
 
 // Now returns the global simulated time in cycles.
 func (s *System) Now() uint64 { return s.m.K.Now() }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCleanRecoveryExitsZero: the demo's happy path — crash, recover,
+// verify the consistent prefix — exits 0.
+func TestCleanRecoveryExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-crash", "8000"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "atomic durability held") {
+		t.Fatalf("verification line missing from output:\n%s", out.String())
+	}
+}
+
+// TestCorruptImageClassifiedAndNonZero: with undo material destroyed at
+// the crash flush, recovery must refuse, the CLI must print the
+// structured *recovery.CorruptionError classification (class, severity,
+// damaged line), and the exit code must be the dedicated 3.
+func TestCorruptImageClassifiedAndNonZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-crash", "8000", "-mix", "drop=1,lhdrop=1"}, &out, &errb)
+	if code != 3 {
+		t.Fatalf("exit %d, want 3\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	diag := errb.String()
+	for _, want := range []string{"recovery refused", "fatal", "line 0x"} {
+		if !strings.Contains(diag, want) {
+			t.Errorf("classification lacks %q:\n%s", want, diag)
+		}
+	}
+	if !strings.Contains(diag, "missing-header") && !strings.Contains(diag, "missing-entry") &&
+		!strings.Contains(diag, "torn-entry") && !strings.Contains(diag, "torn-header") {
+		t.Errorf("no corruption class named in the diagnosis:\n%s", diag)
+	}
+}
+
+// TestSaveLoadRoundTrip: a faulted crash image saved with -save must
+// yield the same classified refusal when recovered by a fresh -load
+// invocation, exactly like a post-power-failure process would see it.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crash.state")
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-crash", "8000", "-save", path}, &out, &errb); code != 0 {
+		t.Fatalf("save: exit %d, stderr: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-load", path}, &out, &errb); code != 0 {
+		t.Fatalf("load: exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "recovered from") {
+		t.Fatalf("load output:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-crash", "8000", "-mix", "drop=1,lhdrop=1", "-save", path}, &out, &errb); code != 0 {
+		t.Fatalf("faulted save: exit %d, stderr: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-load", path}, &out, &errb); code != 3 {
+		t.Fatalf("faulted load: exit %d, want 3\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "recovery refused") {
+		t.Fatalf("faulted load diagnosis:\n%s", errb.String())
+	}
+}
+
+// TestBadFlagsExitTwo keeps usage errors on the conventional exit code.
+func TestBadFlagsExitTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-mix", "nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("bad mix: exit %d, want 2", code)
+	}
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,138 @@
+// Command asaptorture sweeps the adversarial robustness harness: seeded
+// random schedules on resource-exhausted machines (tiny Dependence List,
+// CL List, LH-WPQ, WPQ, Bloom filter, log buffer) with the protocol
+// invariant engine attached at step granularity, the forward-progress
+// watchdog armed, and crash-at-any-cycle fault cases mixed in. Seeded
+// negative controls (a deliberately weakened commit rule) must be caught
+// by the invariant engine and are shrunk to a minimal schedule by ddmin.
+// Exits nonzero on any violation, undiagnosed stall, harness error, or
+// missed control, so CI can gate on it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"asap/internal/faults"
+	"asap/internal/torture"
+)
+
+func main() {
+	seed := flag.Int64("seed", 0, "base seed (0: use ASAP_FUZZ_SEED, else 1)")
+	seeds := flag.Int("seeds", 4, "schedule seeds per preset")
+	presets := flag.String("configs", "", "comma-separated exhaustion configs (default: all of "+strings.Join(torture.PresetNames(), ",")+")")
+	threads := flag.Int("threads", 3, "worker threads per case")
+	ops := flag.Int("ops", 40, "operations per thread")
+	crashPoints := flag.Int("crash-points", 2, "crash cases per (config, seed) pair (-1 = none)")
+	mix := flag.String("mix", "torn=0.2,drop=0.2,reorder=0.3,lhdrop=0.3,flip=1", "crash-time fault mix")
+	stride := flag.Uint64("stride", 0, "invariant-check stride in kernel steps (0 = per-case default)")
+	controls := flag.Int("negative-controls", 2, "seeded commit-rule-breaking cases that must be caught (-1 = none)")
+	shrink := flag.Int("shrink", 200, "replay budget for minimizing each violating schedule (0 = off)")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write the full JSON report to this file")
+	verbose := flag.Bool("v", false, "print every non-pass outcome")
+	flag.Parse()
+
+	baseSeed := *seed
+	if baseSeed == 0 {
+		baseSeed = 1
+		if env := os.Getenv("ASAP_FUZZ_SEED"); env != "" {
+			v, err := strconv.ParseInt(env, 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ASAP_FUZZ_SEED=%q is not an integer: %v\n", env, err)
+				os.Exit(2)
+			}
+			baseSeed = v
+		}
+	}
+	fmt.Printf("asaptorture: seed %d (override with -seed or ASAP_FUZZ_SEED)\n", baseSeed)
+
+	cfg := torture.SweepConfig{
+		Seed:             baseSeed,
+		SeedsPerPreset:   *seeds,
+		Threads:          *threads,
+		Ops:              *ops,
+		CrashPoints:      *crashPoints,
+		Stride:           *stride,
+		NegativeControls: *controls,
+		Workers:          *workers,
+		ShrinkBudget:     *shrink,
+	}
+	if *presets != "" {
+		cfg.Presets = strings.Split(*presets, ",")
+	}
+	if *mix != "" {
+		m, err := faults.ParseMix(*mix)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Mix = m
+	}
+
+	sum, err := torture.Sweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("asaptorture: %d cases\n", sum.Total)
+	verdicts := make([]string, 0, len(sum.Counts))
+	for v := range sum.Counts {
+		verdicts = append(verdicts, string(v))
+	}
+	sort.Strings(verdicts)
+	for _, v := range verdicts {
+		fmt.Printf("  %-10s %d\n", v, sum.Counts[torture.Verdict(v)])
+	}
+	fmt.Printf("  controls: %d caught, %d missed\n", sum.ControlsCaught, sum.ControlsMissed)
+
+	for _, o := range sum.Outcomes {
+		bad := !o.Case.NegativeControl &&
+			(o.Verdict == torture.VerdictViolation || o.Verdict == torture.VerdictStall || o.Verdict == torture.VerdictError)
+		missedControl := o.Case.NegativeControl && o.Verdict != torture.VerdictViolation
+		if !bad && !missedControl && !(*verbose && o.Verdict != torture.VerdictPass) {
+			continue
+		}
+		fmt.Printf("%s: %s", o.Verdict, o.Case)
+		if o.Detail != "" {
+			fmt.Printf(": %s", o.Detail)
+		}
+		fmt.Println()
+		for _, v := range o.Violations {
+			fmt.Printf("    %s\n", v)
+		}
+		if o.Stall != "" {
+			fmt.Printf("    %s\n", o.Stall)
+		}
+		if len(o.Shrunk) > 0 {
+			fmt.Printf("    minimal schedule (%d ops):\n", len(o.Shrunk))
+			for _, op := range o.Shrunk {
+				fmt.Printf("      %s\n", op)
+			}
+		}
+	}
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(sum, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, blob, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "writing report:", err)
+			os.Exit(2)
+		}
+		fmt.Println("report:", *jsonPath)
+	}
+
+	if bad := sum.Bad(); bad > 0 {
+		fmt.Printf("FAIL: %d bad case(s)\n", bad)
+		os.Exit(1)
+	}
+	fmt.Println("OK: zero invariant violations, zero undiagnosed stalls")
+}

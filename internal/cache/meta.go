@@ -1,6 +1,10 @@
 package cache
 
-import "asap/internal/arch"
+import (
+	"sort"
+
+	"asap/internal/arch"
+)
 
 // Meta is the tag-extension state of one cache line (§4.6, Figure 3 ❷).
 // Hardware replicates these bits next to every cached copy and keeps them
@@ -83,4 +87,29 @@ func (t *Table) LockedCount() int {
 		}
 	}
 	return n
+}
+
+// LocksTotal returns the sum of in-flight-LPO pins across all lines. The
+// invariant engine checks it against the engine's own in-flight counter.
+func (t *Table) LocksTotal() int {
+	n := 0
+	for _, m := range t.meta {
+		n += m.Locks
+	}
+	return n
+}
+
+// VisitLocked calls fn for every line currently pinned by an in-flight
+// LPO, in ascending line order (deterministic violation reports).
+func (t *Table) VisitLocked(fn func(m *Meta)) {
+	lines := make([]arch.LineAddr, 0, 8)
+	for line, m := range t.meta {
+		if m.Locked() {
+			lines = append(lines, line)
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		fn(t.meta[line])
+	}
 }

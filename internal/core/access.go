@@ -106,6 +106,7 @@ func (e *Engine) initiateLPO(t *sim.Thread, ts *threadState, r *regionState, lin
 		}
 		r.rec = &record{header: header, h: lh.Open(r.rid, header)}
 		r.logEnd = end
+		r.logEpoch = ts.log.Overflows()
 	}
 
 	rec := r.rec
@@ -122,7 +123,23 @@ func (e *Engine) initiateLPO(t *sim.Thread, ts *threadState, r *regionState, lin
 		r.rec = nil
 	}
 
+	// The record-allocation paths above can yield the thread (LH-WPQ
+	// stall, log-overflow penalty), as can dependence capture before this
+	// call — and while it is parked the line is resident but not yet
+	// pinned, so another core's fills may evict it. Hardware sets the
+	// LockBit in the same cycle the store completes; restore that
+	// atomicity by re-fetching the line before pinning it. The refetch
+	// latency is charged only after the pin so the line cannot slip out
+	// again while the clock advances.
+	var refetch uint64
+	if !e.m.Caches.Present(line) {
+		refetch = e.m.Caches.AccessBlocking(t, ts.core, line, true)
+	}
 	meta.Lock()
+	e.lpoInFlight++
+	if refetch != 0 {
+		t.Advance(refetch)
+	}
 	payload := e.m.Heap.ReadLine(line) // old value, pre-store
 	e.m.St.Inc(stats.LPOsIssued)
 	e.emit(trace.LPOIssue, r.rid, line, 0)
@@ -139,6 +156,7 @@ func (e *Engine) initiateLPO(t *sim.Thread, ts *threadState, r *regionState, lin
 // for the line become eligible.
 func (e *Engine) lpoAccepted(r *regionState, rec *record, line, logLine arch.LineAddr, meta *cache.Meta, payload []byte) {
 	meta.Unlock()
+	e.lpoInFlight--
 	e.emit(trace.LPOAccept, r.rid, line, 0)
 	if e.opt.DPODropping {
 		e.m.Fabric.DropDPOFor(line)

@@ -91,8 +91,15 @@ func (l *CLList) Remove(r arch.RID) {
 // SlotCap returns the CLPtr slots per entry.
 func (l *CLList) SlotCap() int { return l.slotCap }
 
+// Cap returns the entry capacity.
+func (l *CLList) Cap() int { return l.cap }
+
 // Len returns the number of occupied entries.
 func (l *CLList) Len() int { return len(l.entries) }
+
+// Entries returns the occupied entries in insertion order. The slice is
+// the list's own backing store: callers must treat it as read-only.
+func (l *CLList) Entries() []*CLEntry { return l.entries }
 
 // CanAddSlot reports whether entry e can track line right now.
 func (l *CLList) CanAddSlot(e *CLEntry, line arch.LineAddr) bool {

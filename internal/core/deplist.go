@@ -58,6 +58,9 @@ func (l *DependenceList) Remove(r arch.RID) { delete(l.entries, r) }
 // Len returns the number of occupied entries.
 func (l *DependenceList) Len() int { return len(l.entries) }
 
+// Cap returns the entry capacity.
+func (l *DependenceList) Cap() int { return l.cap }
+
 // SlotCap returns the Dep slots per entry.
 func (l *DependenceList) SlotCap() int { return l.slotCap }
 

@@ -40,9 +40,10 @@ type regionState struct {
 	dList  *DependenceList
 	dep    *DepEntry
 
-	rec     *record // open (still filling) log record, if any
-	logEnd  uint64  // absolute log offset after the region's last record
-	endedAt uint64  // when asap_end ran, for the commit-lag histogram
+	rec      *record // open (still filling) log record, if any
+	logEnd   uint64  // absolute log offset after the region's last record
+	logEpoch int     // log Grow count when logEnd was recorded
+	endedAt  uint64  // when asap_end ran, for the commit-lag histogram
 
 	// frees holds asap_free requests made inside the region; the memory
 	// recycles only at commit, when the free is durable.
@@ -78,6 +79,11 @@ type Engine struct {
 
 	ownerBuf map[arch.LineAddr]arch.RID // §5.3 DRAM OwnerRID buffer
 	bloom    *bloom
+
+	// lpoInFlight counts LPOs between initiation and WPQ acceptance; it
+	// must equal the sum of cache.Meta.Locks at every step (the invariant
+	// engine's lock-conservation check).
+	lpoInFlight int
 
 	// CommittedAt records each region's commit time; Edges records every
 	// captured dependence (dep, region). Both feed the ordering-invariant
@@ -238,6 +244,11 @@ func (e *Engine) End(t *sim.Thread) {
 	}
 	t.Advance(e.opt.EndCost)
 	r.endedAt = t.Now()
+	if e.opt.UnsafeEarlyLogFree {
+		// Seeded negative control: frees the undo log before the region's
+		// dependence closure has committed, violating the §4.7 commit rule.
+		r.ts.log.FreeUpTo(r.logEnd)
+	}
 	e.emit(trace.RegionEnd, r.rid, 0, 0)
 	e.m.St.Add(stats.RegionCycles, int64(t.Now()-ts.beginAt))
 	e.m.St.Hist(stats.RegionLatency).Observe(t.Now() - ts.beginAt)
@@ -381,7 +392,15 @@ func (e *Engine) DeferFree(t *sim.Thread, addr uint64) {
 // that may now be able to commit.
 func (e *Engine) commit(r *regionState) []*regionState {
 	r.committed = true
-	r.ts.log.FreeUpTo(r.logEnd)
+	if r.logEpoch == r.ts.log.Overflows() {
+		// Free only when the offsets still refer to the current buffer: a
+		// Grow since the region's last allocation reset head/tail, so a
+		// stale logEnd would alias into — and wrongly free — records that
+		// later regions allocated in the new buffer. Records left in an
+		// abandoned buffer need no freeing (the whole buffer is dead once
+		// its live regions commit).
+		r.ts.log.FreeUpTo(r.logEnd)
+	}
 	for _, addr := range r.frees {
 		e.m.Heap.Free(addr)
 	}

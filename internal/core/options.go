@@ -30,6 +30,12 @@ type Options struct {
 	BeginCost, EndCost uint64
 	// OverflowPenalty is the log-overflow exception cost in cycles.
 	OverflowPenalty uint64
+	// UnsafeEarlyLogFree deliberately breaks the §4.7 commit rule by
+	// freeing a region's undo log at asap_end instead of at commit. It
+	// exists solely as the torture harness's seeded negative control: the
+	// invariant engine must catch the violation (DESIGN.md §11). Never
+	// enable it in a real configuration.
+	UnsafeEarlyLogFree bool
 }
 
 // DefaultOptions returns the paper's configuration with all three traffic

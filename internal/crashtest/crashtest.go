@@ -227,7 +227,7 @@ func RunCase(c Case) Outcome {
 // so the pre-crash execution is identical) and returns the smallest subset
 // still producing a violation. budget bounds the number of replays.
 func Shrink(c Case, events []faults.Event, budget int) []faults.Event {
-	fails := func(sub []faults.Event) bool {
+	return DDMin(events, func(sub []faults.Event) bool {
 		if budget <= 0 {
 			return false
 		}
@@ -235,48 +235,5 @@ func Shrink(c Case, events []faults.Event, budget int) []faults.Event {
 		cc := c
 		cc.Replay = sub
 		return RunCase(cc).Verdict == VerdictViolation
-	}
-
-	cur := append([]faults.Event(nil), events...)
-	n := 2
-	for len(cur) > 1 && n <= len(cur) && budget > 0 {
-		chunk := (len(cur) + n - 1) / n
-		reduced := false
-		for lo := 0; lo < len(cur); lo += chunk {
-			hi := lo + chunk
-			if hi > len(cur) {
-				hi = len(cur)
-			}
-			complement := append(append([]faults.Event(nil), cur[:lo]...), cur[hi:]...)
-			if len(complement) > 0 && fails(complement) {
-				cur, n, reduced = complement, maxInt(n-1, 2), true
-				break
-			}
-			if fails(cur[lo:hi]) {
-				cur, n, reduced = append([]faults.Event(nil), cur[lo:hi]...), 2, true
-				break
-			}
-		}
-		if !reduced {
-			if n == len(cur) {
-				break
-			}
-			n = minInt(n*2, len(cur))
-		}
-	}
-	return cur
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	})
 }

@@ -2,6 +2,7 @@ package crashtest
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"asap/internal/faults"
@@ -67,6 +68,53 @@ func TestBrokenRecoveryIsCaught(t *testing.T) {
 		t.Fatal("validation disabled yet zero violations: the checker is blind")
 	}
 	t.Logf("%d/10 unvalidated recoveries caught violating invariants", violations)
+}
+
+// TestDroppedLogHeaderIsDetected is the LH-WPQ fault regression test: when
+// the crash snapshot loses a resident log header (Mix.LHDropPct), recovery
+// faces a live record slot with no usable header and must refuse with a
+// missing-header corruption error — never report success, never violate.
+// Drops that hit already-persisted (closing) headers are harmless and may
+// still recover; the test demands at least one consequential drop.
+func TestDroppedLogHeaderIsDetected(t *testing.T) {
+	mix := faults.Mix{LHDropPct: 1.0}
+	detected, fired := 0, 0
+	sawMissingHeader := false
+	for i := int64(0); i < 8; i++ {
+		c := Case{Workload: "bigcounter", CrashAt: 1_500 + uint64(i)*1_100, Seed: 40 + i, Mix: mix}
+		o := RunCase(c)
+		if o.Verdict == VerdictViolation || o.Verdict == VerdictError {
+			t.Errorf("%s: %s: %s (faults: %v)", c, o.Verdict, o.Detail, o.Faults)
+		}
+		headerDrops := 0
+		for _, ev := range o.Faults {
+			if ev.Class == faults.HeaderDrop {
+				headerDrops++
+			}
+		}
+		if headerDrops > 0 {
+			fired++
+		}
+		if o.Verdict == VerdictDetected {
+			detected++
+			if headerDrops == 0 {
+				t.Errorf("%s: detected without a header drop: %s", c, o.Detail)
+			}
+			if strings.Contains(o.Detail, "missing-header") {
+				sawMissingHeader = true
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatal("no crash point had a resident LH-WPQ header; the mix exercises nothing")
+	}
+	if detected == 0 {
+		t.Fatal("dropped live log headers were never detected by recovery")
+	}
+	if !sawMissingHeader {
+		t.Error("no detection was classified missing-header")
+	}
+	t.Logf("%d/8 cases dropped headers, %d detected", fired, detected)
 }
 
 // TestReplayReproducesOutcome: the same case with Replay of the recorded

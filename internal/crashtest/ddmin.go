@@ -1,0 +1,36 @@
+package crashtest
+
+// DDMin minimizes a failing input by delta debugging (Zeller's ddmin): it
+// returns the smallest subsequence of items it can find for which fails
+// still returns true. fails must be deterministic; it is the caller's job
+// to bound the number of replays (return false once a budget runs out —
+// DDMin then stops reducing and returns the best subset so far). items is
+// assumed failing; the result keeps the original relative order, which is
+// what makes the algorithm sound for schedules and event logs alike.
+func DDMin[T any](items []T, fails func([]T) bool) []T {
+	cur := append([]T(nil), items...)
+	n := 2
+	for len(cur) > 1 && n <= len(cur) {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for lo := 0; lo < len(cur); lo += chunk {
+			hi := min(lo+chunk, len(cur))
+			complement := append(append([]T(nil), cur[:lo]...), cur[hi:]...)
+			if len(complement) > 0 && fails(complement) {
+				cur, n, reduced = complement, max(n-1, 2), true
+				break
+			}
+			if fails(cur[lo:hi]) {
+				cur, n, reduced = append([]T(nil), cur[lo:hi]...), 2, true
+				break
+			}
+		}
+		if !reduced {
+			if n == len(cur) {
+				break
+			}
+			n = min(n*2, len(cur))
+		}
+	}
+	return cur
+}

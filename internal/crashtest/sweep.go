@@ -41,6 +41,7 @@ func DefaultMixes() []faults.Mix {
 		{DropPct: 0.3},
 		{ReorderPct: 0.5},
 		{BitFlips: 1},
+		{LHDropPct: 0.5},
 		{TornPct: 0.2, DropPct: 0.2, ReorderPct: 0.3, BitFlips: 1},
 	}
 }

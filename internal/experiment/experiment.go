@@ -135,6 +135,12 @@ func Run(v Variant, bench string, scale Scale, valueBytes int) workload.Result {
 		Seed:         42,
 	}
 	res := workload.Run(&workload.Env{M: m, S: s}, b, cfg)
+	if res.Stall != nil {
+		// Panic with the error value itself: runner.Collect wraps worker
+		// panics in a *PanicError whose Unwrap exposes it, so callers can
+		// still errors.As their way to the *sim.StallError diagnosis.
+		panic(res.Stall)
+	}
 	if res.CheckErr != "" {
 		panic(fmt.Sprintf("experiment: %s under %s left inconsistent state: %s",
 			bench, v.Scheme, res.CheckErr))

@@ -30,10 +30,11 @@ type Class string
 
 // The fault classes.
 const (
-	Torn    Class = "torn"    // partial cache-line persist at flush
-	Drop    Class = "drop"    // accepted entry never reaches media
-	Reorder Class = "reorder" // channel flush order permuted
-	BitFlip Class = "bitflip" // media error in a persisted line
+	Torn       Class = "torn"    // partial cache-line persist at flush
+	Drop       Class = "drop"    // accepted entry never reaches media
+	Reorder    Class = "reorder" // channel flush order permuted
+	BitFlip    Class = "bitflip" // media error in a persisted line
+	HeaderDrop Class = "lhdrop"  // LH-WPQ header lost from the crash snapshot
 )
 
 // Mix is the fault mixture: per-entry probabilities for torn and dropped
@@ -45,6 +46,10 @@ type Mix struct {
 	DropPct    float64
 	ReorderPct float64
 	BitFlips   int
+	// LHDropPct is the per-header probability that a resident LH-WPQ
+	// header is lost from the crash snapshot (the memdev
+	// HeaderFaultInjector path).
+	LHDropPct float64
 	// Kinds, when non-nil, limits torn/drop decisions to entries of these
 	// kinds (e.g. only log headers). Reordering is kind-agnostic.
 	Kinds map[memdev.Kind]bool
@@ -52,7 +57,7 @@ type Mix struct {
 
 // Zero reports whether the mix injects nothing.
 func (m Mix) Zero() bool {
-	return m.TornPct == 0 && m.DropPct == 0 && m.ReorderPct == 0 && m.BitFlips == 0
+	return m.TornPct == 0 && m.DropPct == 0 && m.ReorderPct == 0 && m.BitFlips == 0 && m.LHDropPct == 0
 }
 
 // String renders the mix in the form ParseMix accepts.
@@ -69,6 +74,7 @@ func (m Mix) String() string {
 	add("torn", m.TornPct)
 	add("drop", m.DropPct)
 	add("reorder", m.ReorderPct)
+	add("lhdrop", m.LHDropPct)
 	if m.BitFlips > 0 {
 		parts = append(parts, fmt.Sprintf("flip=%d", m.BitFlips))
 	}
@@ -133,6 +139,8 @@ func ParseMix(s string) (Mix, error) {
 			m.DropPct = p
 		case "reorder":
 			m.ReorderPct = p
+		case "lhdrop":
+			m.LHDropPct = p
 		default:
 			return m, fmt.Errorf("faults: unknown mix key %q", key)
 		}
@@ -176,6 +184,8 @@ func (ev Event) String() string {
 		return fmt.Sprintf("seq %d: reordered channel %d flush", ev.Seq, ev.Channel)
 	case BitFlip:
 		return fmt.Sprintf("seq %d: bit %d flipped in line %#x", ev.Seq, ev.Bit, uint64(ev.Line))
+	case HeaderDrop:
+		return fmt.Sprintf("seq %d: LH-WPQ header of %s at line %#x lost", ev.Seq, ev.RID, uint64(ev.Line))
 	}
 	return fmt.Sprintf("seq %d: %s", ev.Seq, ev.Class)
 }
@@ -193,6 +203,7 @@ type Injector struct {
 }
 
 var _ memdev.FaultInjector = (*Injector)(nil)
+var _ memdev.HeaderFaultInjector = (*Injector)(nil)
 
 // New returns a recording injector drawing faults from mix.
 func New(seed int64, mix Mix) *Injector {
@@ -307,6 +318,37 @@ func (in *Injector) FlushPayload(channel int, e *memdev.Entry, current []byte) (
 		return tear(e.Payload, current, ev.TearAt), true
 	}
 	return e.Payload, true
+}
+
+// CrashHeader implements memdev.HeaderFaultInjector: with probability
+// LHDropPct an in-scope resident LH-WPQ header is lost from the crash
+// snapshot. Recovery must notice the missing header (a live record slot
+// with no usable header), never silently accept the state.
+func (in *Injector) CrashHeader(channel int, h *memdev.LogHeader) bool {
+	seq := in.seq
+	in.seq++
+	if in.replay != nil {
+		ev, ok := in.replay[seq]
+		if ok && ev.Class == HeaderDrop {
+			in.events = append(in.events, ev)
+			return false
+		}
+		return true
+	}
+	if in.mix.LHDropPct == 0 {
+		return true
+	}
+	if in.scope != nil && !in.scope[h.RID] {
+		return true
+	}
+	if in.rng.Float64() >= in.mix.LHDropPct {
+		return true
+	}
+	in.events = append(in.events, Event{
+		Seq: seq, Class: HeaderDrop, Channel: channel,
+		Kind: "LogHeader", RID: h.RID, Line: h.HeaderAddr,
+	})
+	return false
 }
 
 // tear builds the media content of a write torn after n bytes: the new

@@ -211,6 +211,73 @@ func TestFlipBitsDeterministicAndBounded(t *testing.T) {
 	}
 }
 
+func testHeaders() []*memdev.LogHeader {
+	return []*memdev.LogHeader{
+		{RID: 1, HeaderAddr: 0x1000},
+		{RID: 2, HeaderAddr: 0x2000},
+		{RID: 3, HeaderAddr: 0x3000},
+		{RID: 1, HeaderAddr: 0x4000},
+	}
+}
+
+// driveHeaders consults the injector for each header the way the LH-WPQ
+// crash snapshot does, returning the surviving set.
+func driveHeaders(in *Injector) []*memdev.LogHeader {
+	var kept []*memdev.LogHeader
+	for _, h := range testHeaders() {
+		if in.CrashHeader(0, h) {
+			kept = append(kept, h)
+		}
+	}
+	return kept
+}
+
+func TestCrashHeaderDropsAndRecords(t *testing.T) {
+	in := New(9, Mix{LHDropPct: 1.0})
+	if kept := driveHeaders(in); len(kept) != 0 {
+		t.Fatalf("LHDropPct=1 kept %d headers", len(kept))
+	}
+	evs := in.Events()
+	if len(evs) != len(testHeaders()) {
+		t.Fatalf("want %d events, got %v", len(testHeaders()), evs)
+	}
+	for i, ev := range evs {
+		want := testHeaders()[i]
+		if ev.Class != HeaderDrop || ev.RID != want.RID || ev.Line != want.HeaderAddr {
+			t.Fatalf("event %d = %v, want lhdrop of %s at %#x", i, ev, want.RID, uint64(want.HeaderAddr))
+		}
+	}
+	// Zero mix never drops.
+	if kept := driveHeaders(New(9, Mix{})); len(kept) != len(testHeaders()) {
+		t.Fatal("zero mix dropped a header")
+	}
+}
+
+func TestCrashHeaderScopeAndReplay(t *testing.T) {
+	rec := New(9, Mix{LHDropPct: 1.0})
+	rec.SetScope([]arch.RID{1})
+	kept := driveHeaders(rec)
+	if len(kept) != 2 || kept[0].RID != 2 || kept[1].RID != 3 {
+		t.Fatalf("scope [1] kept %v", kept)
+	}
+	for _, ev := range rec.Events() {
+		if ev.RID != 1 {
+			t.Fatalf("event outside scope: %v", ev)
+		}
+	}
+	// Replay drops exactly the recorded headers, nothing else.
+	rep := Replay(rec.Events())
+	kept2 := driveHeaders(rep)
+	if !reflect.DeepEqual(kept, kept2) {
+		t.Fatalf("replay survivors %v != recorded survivors %v", kept2, kept)
+	}
+	// Replaying only the first drop keeps the second rid-1 header.
+	one := driveHeaders(Replay(rec.Events()[:1]))
+	if len(one) != 3 || one[2].HeaderAddr != 0x4000 {
+		t.Fatalf("partial replay kept %v", one)
+	}
+}
+
 func TestParseMix(t *testing.T) {
 	cases := []struct {
 		in      string
@@ -220,6 +287,8 @@ func TestParseMix(t *testing.T) {
 		{in: "none"},
 		{in: ""},
 		{in: "torn=0.2,drop=0.1", want: Mix{TornPct: 0.2, DropPct: 0.1}},
+		{in: "lhdrop=0.4", want: Mix{LHDropPct: 0.4}},
+		{in: "lhdrop=2", wantErr: true},
 		{in: "reorder=1,flip=2", want: Mix{ReorderPct: 1, BitFlips: 2}},
 		{in: "all", want: Mix{TornPct: 0.25, DropPct: 0.25, ReorderPct: 0.25, BitFlips: 1}},
 		{in: "torn=0.3,kinds=LogHeader+LPO", want: Mix{TornPct: 0.3, Kinds: map[memdev.Kind]bool{memdev.KindLogHeader: true, memdev.KindLPO: true}}},

@@ -1,0 +1,65 @@
+package invariant
+
+import (
+	"testing"
+
+	"asap/internal/core"
+	"asap/internal/machine"
+	"asap/internal/sim"
+)
+
+// benchWorkload builds a fresh machine and drives a fixed three-thread
+// region workload to completion, with the invariant engine detached or
+// attached at the given stride. The detached/attached ratio is the
+// documented cost of always-on checking (DESIGN.md §11).
+func benchWorkload(b *testing.B, attach bool, stride uint64) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := machine.DefaultConfig()
+		cfg.Cores = 4
+		m := machine.New(cfg)
+		eng := core.NewEngine(m, core.DefaultOptions())
+		var ie *Engine
+		if attach {
+			ie = Attach(m, eng, Config{Stride: stride})
+		}
+		const slots = 8
+		addrs := make([]uint64, slots)
+		for j := range addrs {
+			addrs[j] = m.Heap.Alloc(64, true)
+		}
+		var mu sim.Mutex
+		for w := 0; w < 3; w++ {
+			base := w * 3
+			m.K.Spawn("w", func(th *sim.Thread) {
+				eng.InitThread(th)
+				for k := 0; k < 40; k++ {
+					eng.Begin(th)
+					mu.Lock(th)
+					a := addrs[(base+k)%slots]
+					storeU64(eng, th, a, loadU64(eng, th, a)+1)
+					storeU64(eng, th, addrs[(base+k+1)%slots], uint64(k))
+					mu.Unlock(th)
+					eng.End(th)
+				}
+				eng.DrainBarrier(th)
+			})
+		}
+		if err := m.K.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if ie != nil {
+			ie.Final()
+			if err := ie.Err(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkRegionWorkload(b *testing.B) {
+	b.Run("detached", func(b *testing.B) { benchWorkload(b, false, 0) })
+	b.Run("stride64", func(b *testing.B) { benchWorkload(b, true, 64) })
+	b.Run("stride16", func(b *testing.B) { benchWorkload(b, true, 16) })
+	b.Run("stride1", func(b *testing.B) { benchWorkload(b, true, 1) })
+}

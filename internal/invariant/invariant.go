@@ -1,0 +1,518 @@
+// Package invariant is the runtime protocol-invariant engine (DESIGN.md
+// §11): it promotes the one-shot assertions of internal/core's invariant
+// tests into step-granularity validators that run while a simulation
+// executes, wired through the kernel's sim.Observer hook. Each check
+// cross-references the paper section whose rule it enforces. The engine is
+// a pure observer — attaching it changes no scheduling decision, counter,
+// or byte of output, only whether protocol violations are caught the
+// moment they happen instead of (at best) at the end of the run.
+//
+// Zero cost when detached: nothing in this package is referenced by the
+// default experiment paths.
+package invariant
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"asap/internal/arch"
+	"asap/internal/cache"
+	"asap/internal/core"
+	"asap/internal/machine"
+	"asap/internal/memdev"
+	"asap/internal/sim"
+	"asap/internal/wal"
+)
+
+// Violation is one invariant failure, timestamped in simulated cycles.
+type Violation struct {
+	At     uint64 `json:"at"`
+	Check  string `json:"check"`
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%d] %s: %s", v.At, v.Check, v.Detail)
+}
+
+// The check names, used in Violation.Check and the DESIGN.md §11 catalog.
+const (
+	CheckDepAcyclic    = "dep-acyclic"    // §4.6.3: dependence graph has no cycle
+	CheckCommitRule    = "commit-rule"    // §4.7/§5.5: log freed only at commit
+	CheckOwnerBloom    = "owner-bloom"    // §5.3: no false negatives over spills
+	CheckLocks         = "locks"          // §4.6.1: lock pins == LPOs in flight
+	CheckCLConserve    = "cl-conserve"    // §4.6.2: CL List ↔ live regions
+	CheckDepConserve   = "dep-conserve"   // §4.6.3: Dep List ↔ live regions
+	CheckLHWPQConserve = "lhwpq-conserve" // §5.5: LH-WPQ ↔ open records
+	CheckWPQBound      = "wpq-bound"      // §4.1: WPQ occupancy within capacity
+	CheckWALMonotone   = "wal-monotone"   // §4.4: head/tail monotone per epoch
+	CheckCommitOrder   = "commit-order"   // §4.8: commits respect dependences
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Stride is the minimum simulated-cycle gap between full check passes
+	// (sampled on kernel Ticks). 0 means the 64-cycle default; 1 checks at
+	// every clock movement.
+	Stride uint64
+	// MaxViolations bounds the retained violation list (0 -> 64). The
+	// total count keeps incrementing past the bound.
+	MaxViolations int
+	// Next, when non-nil, receives every Observer callback after the
+	// engine — so a profiler or recorder session can stay attached.
+	Next sim.Observer
+}
+
+// Engine validates one ASAP engine's protocol state. It implements
+// sim.Observer; attach it with machine.K.SetObserver (or invariant.Attach,
+// which preserves an already-attached observer by chaining it).
+type Engine struct {
+	m    *machine.Machine
+	eng  *core.Engine
+	next sim.Observer
+
+	stride uint64
+	lastAt uint64
+	armed  bool // first Tick seen, lastAt valid
+
+	maxViol    int
+	violations []Violation
+	total      int
+	passes     uint64
+
+	// logSeen is the per-thread WAL monotonicity history.
+	logSeen map[int]logMark
+}
+
+type logMark struct {
+	base       uint64
+	epoch      int
+	head, tail uint64
+}
+
+// New builds an invariant engine for eng running on m. It does not attach
+// itself; see Attach.
+func New(m *machine.Machine, eng *core.Engine, cfg Config) *Engine {
+	if cfg.Stride == 0 {
+		cfg.Stride = 64
+	}
+	if cfg.MaxViolations == 0 {
+		cfg.MaxViolations = 64
+	}
+	return &Engine{
+		m:       m,
+		eng:     eng,
+		next:    cfg.Next,
+		stride:  cfg.Stride,
+		maxViol: cfg.MaxViolations,
+		logSeen: make(map[int]logMark),
+	}
+}
+
+// Attach builds an engine and installs it as m's kernel observer, chaining
+// any observer already attached (profiler/recorder sessions keep working).
+// Call before Run.
+func Attach(m *machine.Machine, eng *core.Engine, cfg Config) *Engine {
+	if cfg.Next == nil {
+		cfg.Next = m.K.Observer()
+	}
+	ie := New(m, eng, cfg)
+	m.K.SetObserver(ie)
+	return ie
+}
+
+// Violations returns the retained violations (bounded by MaxViolations).
+func (e *Engine) Violations() []Violation { return e.violations }
+
+// Total returns the total violation count, including dropped ones.
+func (e *Engine) Total() int { return e.total }
+
+// Passes returns how many full check passes have run.
+func (e *Engine) Passes() uint64 { return e.passes }
+
+// Err returns nil when no invariant has been violated, else an error
+// summarizing the first retained violation and the total count.
+func (e *Engine) Err() error {
+	if e.total == 0 {
+		return nil
+	}
+	return fmt.Errorf("invariant: %d violation(s), first: %s", e.total, e.violations[0])
+}
+
+func (e *Engine) report(at uint64, check, format string, args ...interface{}) {
+	e.total++
+	if len(e.violations) < e.maxViol {
+		e.violations = append(e.violations, Violation{At: at, Check: check, Detail: fmt.Sprintf(format, args...)})
+	}
+}
+
+// sim.Observer: the engine piggybacks on kernel Ticks and forwards every
+// callback to the chained observer.
+
+// ThreadStart implements sim.Observer.
+func (e *Engine) ThreadStart(t *sim.Thread) {
+	if e.next != nil {
+		e.next.ThreadStart(t)
+	}
+}
+
+// ClockAdvance implements sim.Observer.
+func (e *Engine) ClockAdvance(t *sim.Thread, delta uint64) {
+	if e.next != nil {
+		e.next.ClockAdvance(t, delta)
+	}
+}
+
+// LockBegin implements sim.Observer.
+func (e *Engine) LockBegin(t *sim.Thread) {
+	if e.next != nil {
+		e.next.LockBegin(t)
+	}
+}
+
+// LockEnd implements sim.Observer.
+func (e *Engine) LockEnd(t *sim.Thread) {
+	if e.next != nil {
+		e.next.LockEnd(t)
+	}
+}
+
+// Tick implements sim.Observer: at most one full check pass per Stride
+// cycles of kernel-clock movement.
+func (e *Engine) Tick(now uint64) {
+	if e.next != nil {
+		e.next.Tick(now)
+	}
+	if !e.armed {
+		e.armed = true
+		e.lastAt = now
+		return
+	}
+	if now-e.lastAt >= e.stride {
+		e.lastAt = now
+		e.CheckNow(now)
+	}
+}
+
+// CheckNow runs one full validation pass against the engine's current
+// state, recording any violations at time now.
+func (e *Engine) CheckNow(now uint64) {
+	e.passes++
+	live := e.eng.LiveRegions()
+	liveSet := make(map[arch.RID]*core.RegionInspect, len(live))
+	for i := range live {
+		liveSet[live[i].RID] = &live[i]
+	}
+	e.checkDepAcyclic(now)
+	e.checkCommitRule(now, live)
+	e.checkOwnerBloom(now)
+	e.checkLocks(now)
+	e.checkCLConserve(now, liveSet)
+	e.checkDepConserve(now, liveSet)
+	e.checkLHWPQConserve(now, liveSet)
+	e.checkWPQBound(now)
+	e.checkWALMonotone(now)
+}
+
+// Final runs the end-of-run checks: one last full pass plus the global
+// commit-ordering audit over the engine's recorded dependence edges. Call
+// it after the simulation finishes (or stalls).
+func (e *Engine) Final() {
+	now := e.m.K.Now()
+	e.CheckNow(now)
+	e.checkCommitOrder(now)
+}
+
+// checkDepAcyclic (§4.6.3): the live dependence graph must be a DAG —
+// dependence capture only ever points at an *earlier* uncommitted region,
+// and a cycle would deadlock commit forever.
+func (e *Engine) checkDepAcyclic(now uint64) {
+	g := e.eng.DepGraphLive()
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[arch.RID]int, len(g))
+	rids := make([]arch.RID, 0, len(g))
+	for rid := range g {
+		rids = append(rids, rid)
+	}
+	sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
+
+	var stack []arch.RID
+	var visit func(rid arch.RID) bool // true when a cycle was found
+	visit = func(rid arch.RID) bool {
+		color[rid] = gray
+		stack = append(stack, rid)
+		for _, d := range g[rid] {
+			switch color[d] {
+			case gray:
+				// Render the cycle from d's position on the stack.
+				i := 0
+				for j, s := range stack {
+					if s == d {
+						i = j
+						break
+					}
+				}
+				parts := make([]string, 0, len(stack)-i+1)
+				for _, s := range stack[i:] {
+					parts = append(parts, s.String())
+				}
+				parts = append(parts, d.String())
+				e.report(now, CheckDepAcyclic, "dependence cycle: %s", strings.Join(parts, " -> "))
+				return true
+			case white:
+				if _, inGraph := g[d]; inGraph && visit(d) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[rid] = black
+		return false
+	}
+	for _, rid := range rids {
+		if color[rid] == white {
+			if visit(rid) {
+				return // one cycle per pass is diagnosis enough
+			}
+		}
+	}
+}
+
+// checkCommitRule (§4.7, §5.5 "Freeing the Log on Commit"): a live
+// region's undo records must still be live in its thread's log — the log
+// head may not have advanced past the start of the region's last record
+// before the region commits. This is the check the UnsafeEarlyLogFree
+// negative control must trip.
+func (e *Engine) checkCommitRule(now uint64, live []core.RegionInspect) {
+	for _, r := range live {
+		if r.LogEnd == 0 {
+			continue // region never logged
+		}
+		if r.LogEpoch != e.eng.LogEpoch(r.Thread) {
+			continue // offsets predate a Grow; not comparable to the live head
+		}
+		ext, ok := e.eng.LogExtentOf(r.Thread)
+		if !ok {
+			continue
+		}
+		if start := r.LogEnd - wal.RecordBytes; ext.Head > start {
+			e.report(now, CheckCommitRule,
+				"region %s uncommitted but thread %d log head %d passed its record start %d (log freed before dependence closure)",
+				r.RID, r.Thread, ext.Head, start)
+		}
+	}
+}
+
+// checkOwnerBloom (§5.3): the Bloom filter may give false positives,
+// never false negatives — every line with a spilled OwnerRID in the DRAM
+// buffer must answer "maybe" on a fill probe, or a dependence would be
+// silently missed.
+func (e *Engine) checkOwnerBloom(now uint64) {
+	e.eng.OwnerSpills(func(line arch.LineAddr, owner arch.RID) {
+		if !e.eng.BloomMayContain(line) {
+			e.report(now, CheckOwnerBloom,
+				"line %#x has spilled owner %s but the bloom filter answers 'definitely not' (missed-dependence hazard)",
+				uint64(line), owner)
+		}
+	})
+}
+
+// checkLocks (§4.6.1): the per-line lock pins must account exactly for
+// the LPOs in flight, and a pinned line must be persistent-memory data
+// still resident in the hierarchy (pinned lines are never evicted).
+func (e *Engine) checkLocks(now uint64) {
+	table := e.m.Caches.Table()
+	if got, want := table.LocksTotal(), e.eng.LPOsInFlight(); got != want {
+		e.report(now, CheckLocks,
+			"sum of cache lock pins %d != LPOs in flight %d", got, want)
+	}
+	table.VisitLocked(func(m *cache.Meta) {
+		if !m.PBit {
+			e.report(now, CheckLocks, "line %#x pinned by an in-flight LPO but not marked persistent", uint64(m.Line()))
+		}
+		if !e.m.Caches.Present(m.Line()) {
+			e.report(now, CheckLocks, "line %#x pinned by an in-flight LPO but evicted from the hierarchy", uint64(m.Line()))
+		}
+	})
+}
+
+// checkCLConserve (§4.6.2): CL List occupancy must stay within capacity
+// and correspond one-to-one with the live regions that still have
+// uncompleted DPOs.
+func (e *Engine) checkCLConserve(now uint64, live map[arch.RID]*core.RegionInspect) {
+	seen := make(map[arch.RID]bool)
+	for coreID, cl := range e.eng.CLLists() {
+		if cl.Len() > cl.Cap() {
+			e.report(now, CheckCLConserve, "core %d CL List holds %d entries, capacity %d", coreID, cl.Len(), cl.Cap())
+		}
+		for _, entry := range cl.Entries() {
+			if len(entry.Slots) > cl.SlotCap() {
+				e.report(now, CheckCLConserve, "region %s holds %d CLPtr slots, capacity %d", entry.RID, len(entry.Slots), cl.SlotCap())
+			}
+			r := live[entry.RID]
+			if r == nil || !r.CLResident {
+				e.report(now, CheckCLConserve, "CL List entry for %s has no matching live region", entry.RID)
+				continue
+			}
+			seen[entry.RID] = true
+		}
+	}
+	for rid, r := range live {
+		if r.CLResident && !seen[rid] {
+			e.report(now, CheckCLConserve, "live region %s expects a CL List entry but none exists", rid)
+		}
+	}
+}
+
+// checkDepConserve (§4.6.3, §4.8): the Dependence Lists must hold exactly
+// the uncommitted regions, every recorded dependence must target a region
+// that is still live (commit broadcasts clear resolved deps), and slot
+// occupancy must respect the Dep-slot capacity.
+func (e *Engine) checkDepConserve(now uint64, live map[arch.RID]*core.RegionInspect) {
+	seen := make(map[arch.RID]bool)
+	for ch, dl := range e.eng.DepLists() {
+		if dl.Len() > dl.Cap() {
+			e.report(now, CheckDepConserve, "channel %d Dependence List holds %d entries, capacity %d", ch, dl.Len(), dl.Cap())
+		}
+		for _, entry := range dl.Entries() {
+			if live[entry.RID] == nil {
+				e.report(now, CheckDepConserve, "Dependence List entry for %s has no matching live region (stale entry)", entry.RID)
+				continue
+			}
+			if seen[entry.RID] {
+				e.report(now, CheckDepConserve, "region %s appears in more than one Dependence List", entry.RID)
+			}
+			seen[entry.RID] = true
+			if len(entry.Deps) > dl.SlotCap() {
+				e.report(now, CheckDepConserve, "region %s holds %d Dep slots, capacity %d", entry.RID, len(entry.Deps), dl.SlotCap())
+			}
+			deps := make([]arch.RID, 0, len(entry.Deps))
+			for d := range entry.Deps {
+				deps = append(deps, d)
+			}
+			sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+			for _, d := range deps {
+				if live[d] == nil {
+					e.report(now, CheckDepConserve, "region %s depends on %s, which is not live (unresolved stale dependence)", entry.RID, d)
+				}
+			}
+		}
+	}
+	for rid := range live {
+		if !seen[rid] {
+			e.report(now, CheckDepConserve, "live region %s missing from every Dependence List", rid)
+		}
+	}
+}
+
+// checkLHWPQConserve (§5.5): LH-WPQ occupancy must stay within capacity;
+// every open header must belong to a live region with a matching open
+// record (and vice versa); every header's entry lists must be consistent.
+func (e *Engine) checkLHWPQConserve(now uint64, live map[arch.RID]*core.RegionInspect) {
+	openSeen := make(map[arch.RID]bool)
+	for _, ch := range e.m.Fabric.Channels() {
+		lh := ch.LH()
+		if lh.Len() > lh.Cap() {
+			e.report(now, CheckLHWPQConserve, "channel %d LH-WPQ holds %d entries, capacity %d", ch.ID(), lh.Len(), lh.Cap())
+		}
+		chID := ch.ID()
+		lh.VisitResident(func(h *memdev.LogHeader, closing bool) {
+			if len(h.DataLines) != len(h.LogLines) {
+				e.report(now, CheckLHWPQConserve, "header %s@%#x: %d data lines vs %d log lines",
+					h.RID, uint64(h.HeaderAddr), len(h.DataLines), len(h.LogLines))
+			}
+			if len(h.EntryCRCs) != len(h.DataLines) {
+				e.report(now, CheckLHWPQConserve, "header %s@%#x: %d entry CRCs vs %d entries",
+					h.RID, uint64(h.HeaderAddr), len(h.EntryCRCs), len(h.DataLines))
+			}
+			if len(h.DataLines) > wal.RecordEntries {
+				e.report(now, CheckLHWPQConserve, "header %s@%#x holds %d entries, record capacity %d",
+					h.RID, uint64(h.HeaderAddr), len(h.DataLines), wal.RecordEntries)
+			}
+			if closing {
+				return // closing headers may outlive their (committed) region
+			}
+			r := live[h.RID]
+			if r == nil || !r.OpenRecord {
+				e.report(now, CheckLHWPQConserve, "channel %d open header for %s has no live region with an open record", chID, h.RID)
+				return
+			}
+			if r.OpenHeaderAddr != h.HeaderAddr {
+				e.report(now, CheckLHWPQConserve, "region %s open record header %#x != LH-WPQ header %#x",
+					h.RID, uint64(r.OpenHeaderAddr), uint64(h.HeaderAddr))
+			}
+			openSeen[h.RID] = true
+		})
+	}
+	for rid, r := range live {
+		if r.OpenRecord && !openSeen[rid] {
+			e.report(now, CheckLHWPQConserve, "region %s has an open record but no open LH-WPQ header", rid)
+		}
+	}
+}
+
+// checkWPQBound (§4.1): a channel's WPQ occupancy can never exceed its
+// configured capacity — acceptance is gated on free slots.
+func (e *Engine) checkWPQBound(now uint64) {
+	capacity := e.m.Fabric.Config().WPQEntries
+	for _, ch := range e.m.Fabric.Channels() {
+		if occ := ch.Occupancy(); occ > capacity {
+			e.report(now, CheckWPQBound, "channel %d WPQ occupancy %d exceeds capacity %d", ch.ID(), occ, capacity)
+		}
+	}
+}
+
+// checkWALMonotone (§4.4): within one buffer epoch, LogHead and LogTail
+// only grow, head never passes tail, and the live extent fits the buffer.
+// A Grow (new base, reset offsets) starts a fresh epoch.
+func (e *Engine) checkWALMonotone(now uint64) {
+	for _, tid := range e.eng.ThreadIDs() {
+		ext, ok := e.eng.LogExtentOf(tid)
+		if !ok {
+			continue
+		}
+		epoch := e.eng.LogEpoch(tid)
+		if ext.Head > ext.Tail {
+			e.report(now, CheckWALMonotone, "thread %d log head %d passed tail %d", tid, ext.Head, ext.Tail)
+		}
+		if ext.Tail-ext.Head > ext.Size {
+			e.report(now, CheckWALMonotone, "thread %d live log bytes %d exceed buffer size %d", tid, ext.Tail-ext.Head, ext.Size)
+		}
+		prev, seen := e.logSeen[tid]
+		if seen && prev.base == ext.Base && prev.epoch == epoch {
+			if ext.Head < prev.head {
+				e.report(now, CheckWALMonotone, "thread %d log head went backwards: %d -> %d", tid, prev.head, ext.Head)
+			}
+			if ext.Tail < prev.tail {
+				e.report(now, CheckWALMonotone, "thread %d log tail went backwards: %d -> %d", tid, prev.tail, ext.Tail)
+			}
+		}
+		e.logSeen[tid] = logMark{base: ext.Base, epoch: epoch, head: ext.Head, tail: ext.Tail}
+	}
+}
+
+// checkCommitOrder (§4.8): for every captured dependence edge (dep ->
+// region), a committed region implies its dependence committed no later.
+// Runs at Final over the engine's full edge history.
+func (e *Engine) checkCommitOrder(now uint64) {
+	for _, edge := range e.eng.Edges {
+		dep, rid := edge[0], edge[1]
+		rAt, rDone := e.eng.CommittedAt[rid]
+		if !rDone {
+			continue
+		}
+		dAt, dDone := e.eng.CommittedAt[dep]
+		if !dDone {
+			e.report(now, CheckCommitOrder, "region %s committed but its dependence %s never did", rid, dep)
+			continue
+		}
+		if dAt > rAt {
+			e.report(now, CheckCommitOrder, "region %s committed at %d before its dependence %s at %d", rid, rAt, dep, dAt)
+		}
+	}
+}

@@ -132,11 +132,12 @@ func (f *Fabric) FlushAll() *Image {
 }
 
 // LHSnapshot gathers the flushed LH-WPQ headers of every channel, as
-// available to recovery after a crash.
+// available to recovery after a crash. An installed HeaderFaultInjector
+// may drop headers from the snapshot.
 func (f *Fabric) LHSnapshot() []*LogHeader {
 	var out []*LogHeader
 	for _, ch := range f.channels {
-		out = append(out, ch.lh.Snapshot()...)
+		out = append(out, ch.crashHeaders()...)
 	}
 	return out
 }

@@ -21,10 +21,43 @@ type FaultInjector interface {
 	FlushPayload(channel int, e *Entry, current []byte) (payload []byte, persist bool)
 }
 
+// HeaderFaultInjector extends FaultInjector to the LH-WPQ path: the
+// persistence-domain SRAM holding in-flight log headers can also lose
+// state at a power failure (a controller bug, a marginal cell — the
+// conservative fault model assumes it can happen). An injector
+// implementing it is consulted for every resident header when the crash
+// snapshot is taken; recovery must *detect* a dropped header, never
+// silently accept the crash state as clean.
+type HeaderFaultInjector interface {
+	FaultInjector
+	// CrashHeader reports whether header h of the given channel survives
+	// the crash. Returning false drops it from the snapshot.
+	CrashHeader(channel int, h *LogHeader) bool
+}
+
 // SetFaultInjector installs fi on every channel's crash-flush path (nil
-// restores ideal ADR behavior).
+// restores ideal ADR behavior). If fi also implements
+// HeaderFaultInjector, it additionally intercepts the LH-WPQ snapshot.
 func (f *Fabric) SetFaultInjector(fi FaultInjector) {
 	for _, ch := range f.channels {
 		ch.fi = fi
 	}
+}
+
+// crashHeaders returns the channel's LH-WPQ headers surviving a crash:
+// Snapshot order (deterministic), filtered by the installed
+// HeaderFaultInjector, if any.
+func (c *Channel) crashHeaders() []*LogHeader {
+	headers := c.lh.Snapshot()
+	hfi, ok := c.fi.(HeaderFaultInjector)
+	if !ok {
+		return headers
+	}
+	kept := headers[:0]
+	for _, h := range headers {
+		if hfi.CrashHeader(c.id, h) {
+			kept = append(kept, h)
+		}
+	}
+	return kept
 }

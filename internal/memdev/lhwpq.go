@@ -1,6 +1,10 @@
 package memdev
 
-import "asap/internal/arch"
+import (
+	"sort"
+
+	"asap/internal/arch"
+)
 
 // LogHeader mirrors Figure 5a: the metadata line of one log record, holding
 // the owning region, and for each of the record's data entries the data
@@ -70,6 +74,50 @@ func newLHWPQ(capacity int) *LHWPQ {
 // Len returns the number of occupied entries (open plus closing).
 func (q *LHWPQ) Len() int { return len(q.open) + len(q.closing) }
 
+// Cap returns the queue's slot capacity.
+func (q *LHWPQ) Cap() int { return q.cap }
+
+// VisitResident calls fn for every resident header — open records first,
+// then closing — in (RID, HeaderAddr) order. Unlike Snapshot it does not
+// clone: fn must treat the headers as read-only. The invariant engine uses
+// it for per-step conservation checks without allocation pressure.
+func (q *LHWPQ) VisitResident(fn func(h *LogHeader, closing bool)) {
+	for _, h := range sortedHeaders(q.open) {
+		fn(h, false)
+	}
+	for _, h := range q.closingSorted() {
+		fn(h, true)
+	}
+}
+
+// sortedHeaders orders a RID-keyed header map by (RID, HeaderAddr).
+func sortedHeaders(m map[arch.RID]*LogHeader) []*LogHeader {
+	out := make([]*LogHeader, 0, len(m))
+	for _, h := range m {
+		out = append(out, h)
+	}
+	sortHeaders(out)
+	return out
+}
+
+func (q *LHWPQ) closingSorted() []*LogHeader {
+	out := make([]*LogHeader, 0, len(q.closing))
+	for _, h := range q.closing {
+		out = append(out, h)
+	}
+	sortHeaders(out)
+	return out
+}
+
+func sortHeaders(hs []*LogHeader) {
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].RID != hs[j].RID {
+			return hs[i].RID < hs[j].RID
+		}
+		return hs[i].HeaderAddr < hs[j].HeaderAddr
+	})
+}
+
 // Peak returns the highest occupancy ever reached.
 func (q *LHWPQ) Peak() int { return q.peak }
 
@@ -129,17 +177,16 @@ func (q *LHWPQ) Release(r arch.RID) {
 	delete(q.open, r)
 }
 
-// Snapshot returns copies of all resident headers — open and closing —
-// as flushed on a crash. Every listed entry's LPO was accepted, so
-// restoring from them is safe even if the header line write itself never
-// made it out.
+// Snapshot returns copies of all resident headers — open records first,
+// then closing, each group in (RID, HeaderAddr) order — as flushed on a
+// crash. Every listed entry's LPO was accepted, so restoring from them is
+// safe even if the header line write itself never made it out. The order
+// is deterministic so seeded fault injectors make reproducible per-header
+// decisions.
 func (q *LHWPQ) Snapshot() []*LogHeader {
 	out := make([]*LogHeader, 0, q.Len())
-	for _, h := range q.open {
+	q.VisitResident(func(h *LogHeader, _ bool) {
 		out = append(out, h.clone())
-	}
-	for _, h := range q.closing {
-		out = append(out, h.clone())
-	}
+	})
 	return out
 }

@@ -56,6 +56,15 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("runner: job %q panicked: %v", e.Label, e.Value)
 }
 
+// Unwrap exposes a panic value that is itself an error (a job panicking
+// with a *sim.StallError, say), so errors.Is/As see through the wrapper.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Pool is a fixed set of workers for Collect batches. The zero value is
 // not usable; create one with New. A Pool may run any number of batches,
 // one at a time or from a single goroutine.

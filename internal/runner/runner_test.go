@@ -112,6 +112,22 @@ func TestCollectPropagatesPanic(t *testing.T) {
 	}
 }
 
+// TestPanicErrorUnwrapsErrorValues: a job panicking with an error value
+// (the experiment layer re-panics *sim.StallError this way) is reachable
+// through errors.As on the Collect error; non-error panics unwrap to nil.
+func TestPanicErrorUnwrapsErrorValues(t *testing.T) {
+	sentinel := errors.New("stalled at cycle 9")
+	_, err := Collect(New(2), []Job[int]{
+		{Label: "stall", Run: func() int { panic(sentinel) }},
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is cannot see through PanicError: %v", err)
+	}
+	if (&PanicError{Value: "plain string"}).Unwrap() != nil {
+		t.Fatal("non-error panic value must unwrap to nil")
+	}
+}
+
 // TestCollectFirstErrorDeterministic: with several panicking jobs, the
 // returned error is the earliest-submitted one regardless of scheduling.
 func TestCollectFirstErrorDeterministic(t *testing.T) {

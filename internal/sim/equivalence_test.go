@@ -46,11 +46,11 @@ func (s newSim) now() uint64                   { return s.k.Now() }
 func (s newSim) halt()                         { s.k.Halt() }
 func (s newSim) run()                          { s.k.Run() }
 
-func (t newThread) advance(c uint64)          { t.t.Advance(c) }
-func (t newThread) yieldStep()                { t.t.Yield() }
-func (t newThread) waitUntil(p func() bool)   { t.t.WaitUntil(p) }
-func (t newThread) sleepUntil(at uint64)      { t.t.SleepUntil(at) }
-func (t newThread) now() uint64               { return t.t.Now() }
+func (t newThread) advance(c uint64)        { t.t.Advance(c) }
+func (t newThread) yieldStep()              { t.t.Yield() }
+func (t newThread) waitUntil(p func() bool) { t.t.WaitUntil(p) }
+func (t newThread) sleepUntil(at uint64)    { t.t.SleepUntil(at) }
+func (t newThread) now() uint64             { return t.t.Now() }
 
 // Reference-kernel adapter.
 
@@ -77,12 +77,12 @@ func (t refAPIThread) now() uint64             { return t.t.now }
 type opKind uint8
 
 const (
-	opAdvance opKind = iota // advance a cycles
-	opYield                 // bare yield
-	opLockCS                // emulated critical section: a inside, b after
-	opWaitFlag              // block until flag a is set by an event
-	opSleep                 // sleep a cycles past the thread clock
-	opSpawn                 // fork child program a mid-run
+	opAdvance  opKind = iota // advance a cycles
+	opYield                  // bare yield
+	opLockCS                 // emulated critical section: a inside, b after
+	opWaitFlag               // block until flag a is set by an event
+	opSleep                  // sleep a cycles past the thread clock
+	opSpawn                  // fork child program a mid-run
 )
 
 type op struct {

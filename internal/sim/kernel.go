@@ -15,12 +15,6 @@
 // Schedule allocates nothing steady-state.
 package sim
 
-import (
-	"fmt"
-	"sort"
-	"strings"
-)
-
 // Kernel is the simulation scheduler. The zero value is not usable; create
 // one with NewKernel.
 //
@@ -40,6 +34,13 @@ type Kernel struct {
 	running bool
 	halted  bool
 	obs     Observer
+
+	// Forward-progress watchdog (stall.go). wdAt is the kernel time the
+	// current no-progress window opened; wdProgress the progress counter
+	// sampled then.
+	wd         *Watchdog
+	wdAt       uint64
+	wdProgress uint64
 }
 
 // Halt makes Run return at the next scheduling decision without running
@@ -101,9 +102,12 @@ func (k *Kernel) ScheduleAfter(delay uint64, fn func()) {
 }
 
 // Run drives the simulation until every spawned thread has finished and the
-// event queue is drained. It panics with a diagnostic if all remaining
-// threads are blocked and no event can unblock them (simulated deadlock).
-func (k *Kernel) Run() {
+// event queue is drained, then returns nil. If all remaining threads are
+// blocked and no event can unblock them (simulated deadlock), or an
+// attached Watchdog diagnoses a livelock, Run returns a *StallError
+// carrying the blocked report, structure gauges, and protocol snapshot.
+// Callers that treat any stall as fatal can use MustRun.
+func (k *Kernel) Run() error {
 	if k.running {
 		panic("sim: Run called re-entrantly")
 	}
@@ -112,7 +116,10 @@ func (k *Kernel) Run() {
 
 	for {
 		if k.halted {
-			return
+			return nil
+		}
+		if err := k.checkWatchdog(); err != nil {
+			return err
 		}
 		t, tEff := k.pickThread()
 		ev := k.events.peek()
@@ -156,9 +163,9 @@ func (k *Kernel) Run() {
 			k.park(<-k.parked)
 		default:
 			if len(k.waiters) == 0 {
-				return // run queue empty, no waiters: every thread is done
+				return nil // run queue empty, no waiters: every thread is done
 			}
-			panic("sim: deadlock: " + k.blockedReport())
+			return k.stallError(StallDeadlock)
 		}
 	}
 }
@@ -240,6 +247,9 @@ func (k *Kernel) fastResume(t *Thread) bool {
 	if k.halted {
 		return false // Run must regain control to stop the simulation
 	}
+	if k.wdDue(t.now) {
+		return false // watchdog window expired: Run must perform the check
+	}
 	if ev := k.events.peek(); ev != nil && ev.at <= t.now {
 		return false // an event fires first (events win ties)
 	}
@@ -265,13 +275,4 @@ func (k *Kernel) fastResume(t *Thread) bool {
 		}
 	}
 	return true
-}
-
-func (k *Kernel) blockedReport() string {
-	var names []string
-	for _, t := range k.waiters {
-		names = append(names, fmt.Sprintf("%s@%d", t.name, t.now))
-	}
-	sort.Strings(names)
-	return strings.Join(names, ", ")
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -132,16 +133,150 @@ func TestSleepUntil(t *testing.T) {
 }
 
 func TestDeadlockPanics(t *testing.T) {
+	// MustRun is the compatibility shim preserving the historical
+	// panic-on-deadlock contract; the panic value is the *StallError.
 	defer func() {
-		if recover() == nil {
+		v := recover()
+		if v == nil {
 			t.Fatal("expected deadlock panic")
+		}
+		if _, ok := v.(*StallError); !ok {
+			t.Fatalf("panic value = %T, want *StallError", v)
 		}
 	}()
 	k := NewKernel()
 	k.Spawn("stuck", func(th *Thread) {
 		th.WaitUntil(func() bool { return false })
 	})
-	k.Run()
+	k.MustRun()
+}
+
+func TestDeadlockReturnsStallError(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("stuck-a", func(th *Thread) {
+		th.Advance(7)
+		th.WaitUntil(func() bool { return false })
+	})
+	k.Spawn("stuck-b", func(th *Thread) {
+		th.Advance(3)
+		th.WaitUntil(func() bool { return false })
+	})
+	err := k.Run()
+	se, ok := err.(*StallError)
+	if !ok {
+		t.Fatalf("Run() = %v (%T), want *StallError", err, err)
+	}
+	if se.Kind != StallDeadlock {
+		t.Fatalf("Kind = %q, want %q", se.Kind, StallDeadlock)
+	}
+	if len(se.Blocked) != 2 {
+		t.Fatalf("Blocked = %v, want 2 entries", se.Blocked)
+	}
+	// Blocked report is in spawn order with each thread's own clock.
+	if se.Blocked[0].Name != "stuck-a" || se.Blocked[0].Clock != 7 {
+		t.Fatalf("Blocked[0] = %+v, want stuck-a@7", se.Blocked[0])
+	}
+	if se.Blocked[1].Name != "stuck-b" || se.Blocked[1].Clock != 3 {
+		t.Fatalf("Blocked[1] = %+v, want stuck-b@3", se.Blocked[1])
+	}
+}
+
+func TestWatchdogDiagnosesLivelock(t *testing.T) {
+	k := NewKernel()
+	// A spinner that advances time forever without ever making progress,
+	// plus a thread blocked on a predicate that never holds: without the
+	// watchdog this runs unbounded (no deadlock — the spinner is runnable).
+	k.Spawn("spinner", func(th *Thread) {
+		for {
+			th.Advance(10)
+			if th.Now() > 1_000_000 {
+				t.Error("watchdog never fired")
+				return
+			}
+		}
+	})
+	k.Spawn("blocked", func(th *Thread) {
+		th.WaitUntil(func() bool { return false })
+	})
+	k.SetWatchdog(&Watchdog{
+		Window:   1000,
+		Progress: func() uint64 { return 0 }, // never advances
+		Backlog:  func() int { return 1 },    // work outstanding
+		Gauges:   func() map[string]int { return map[string]int{"wpq0": 3} },
+		Snapshot: func() string { return "dep-graph: r1 -> r2" },
+	})
+	err := k.Run()
+	se, ok := err.(*StallError)
+	if !ok {
+		t.Fatalf("Run() = %v (%T), want *StallError", err, err)
+	}
+	if se.Kind != StallLivelock {
+		t.Fatalf("Kind = %q, want %q", se.Kind, StallLivelock)
+	}
+	if se.At < 1000 || se.At > 2000 {
+		t.Fatalf("diagnosed at cycle %d, want within ~one window of 1000", se.At)
+	}
+	if se.Window != 1000 {
+		t.Fatalf("Window = %d, want 1000", se.Window)
+	}
+	if se.Gauges["wpq0"] != 3 {
+		t.Fatalf("Gauges = %v, want wpq0=3", se.Gauges)
+	}
+	if se.Snapshot == "" || se.Blocked[0].Name != "blocked" {
+		t.Fatalf("missing snapshot/blocked report: %+v", se)
+	}
+}
+
+func TestWatchdogRearmsOnProgress(t *testing.T) {
+	k := NewKernel()
+	var progress uint64
+	k.Spawn("worker", func(th *Thread) {
+		for i := 0; i < 100; i++ {
+			th.Advance(100)
+			progress++ // one unit of progress per 100 cycles
+		}
+	})
+	k.SetWatchdog(&Watchdog{
+		Window:   1000,
+		Progress: func() uint64 { return progress },
+		Backlog:  func() int { return 1 },
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run() = %v, want nil (progress should rearm watchdog)", err)
+	}
+	if progress != 100 {
+		t.Fatalf("worker completed %d steps, want 100", progress)
+	}
+}
+
+func TestWatchdogIdleTailNotAStall(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("slow", func(th *Thread) {
+		th.SleepUntil(50_000) // long quiet stretch, zero progress
+	})
+	k.SetWatchdog(&Watchdog{
+		Window:   1000,
+		Progress: func() uint64 { return 0 },
+		Backlog:  func() int { return 0 }, // nothing outstanding
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run() = %v, want nil (zero backlog is not a livelock)", err)
+	}
+}
+
+func TestStallErrorMessage(t *testing.T) {
+	e := &StallError{
+		Kind:    StallDeadlock,
+		At:      42,
+		Blocked: []BlockedThread{{Name: "a", ID: 0, Clock: 40}},
+		Gauges:  map[string]int{"wpq0": 2, "lhwpq0": 1},
+	}
+	msg := e.Error()
+	for _, want := range []string{"deadlock", "cycle 42", "a@40", "lhwpq0=1", "wpq0=2"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("Error() = %q, missing %q", msg, want)
+		}
+	}
 }
 
 func TestScheduleAfter(t *testing.T) {

@@ -1,0 +1,198 @@
+package torture
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"asap/internal/crashtest"
+	"asap/internal/faults"
+	"asap/internal/runner"
+)
+
+// SweepConfig shapes a torture sweep: for every (preset, seed) pair one
+// drain-to-completion case plus CrashPoints crash cases, and a block of
+// seeded negative controls that the invariant engine is required to catch.
+type SweepConfig struct {
+	// Presets to sweep; empty means all of Presets().
+	Presets []string
+	// SeedsPerPreset is the number of schedule seeds per preset (0 = 4).
+	SeedsPerPreset int
+	// Seed is the base seed; every case seed derives from it.
+	Seed int64
+	// Threads/Ops shape each generated schedule (0 = 3 threads, 0 = 40 ops).
+	Threads, Ops int
+	// CrashPoints is the number of crash cases per (preset, seed) pair
+	// (0 = 2); crash cycles spread log-uniformly in [CrashLo, CrashHi].
+	CrashPoints      int
+	CrashLo, CrashHi uint64
+	// Mix is the crash-time fault mixture.
+	Mix faults.Mix
+	// Stride overrides the invariant-check stride (0 = per-case default).
+	Stride uint64
+	// NegativeControls is the number of seeded commit-rule-breaking cases
+	// (0 = 2; negative to disable). Each must come back as a violation.
+	NegativeControls int
+	// Workers sizes the runner pool (0 = GOMAXPROCS).
+	Workers int
+	// ShrinkBudget, when > 0, bounds the replays spent minimizing each
+	// violating schedule.
+	ShrinkBudget int
+}
+
+func (cfg SweepConfig) defaults() SweepConfig {
+	if len(cfg.Presets) == 0 {
+		cfg.Presets = PresetNames()
+	}
+	if cfg.SeedsPerPreset <= 0 {
+		cfg.SeedsPerPreset = 4
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 3
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 40
+	}
+	if cfg.CrashPoints == 0 {
+		cfg.CrashPoints = 2
+	}
+	if cfg.CrashLo == 0 {
+		cfg.CrashLo = 800
+	}
+	if cfg.CrashHi <= cfg.CrashLo {
+		cfg.CrashHi = 120_000
+	}
+	if cfg.NegativeControls == 0 {
+		cfg.NegativeControls = 2
+	}
+	return cfg
+}
+
+// Cases materializes the deterministic case list: same config, same cases,
+// regardless of worker count.
+func (cfg SweepConfig) Cases() ([]Case, error) {
+	cfg = cfg.defaults()
+	for _, p := range cfg.Presets {
+		if _, err := presetByName(p); err != nil {
+			return nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	span := float64(cfg.CrashHi) / float64(cfg.CrashLo)
+	var cases []Case
+	for _, p := range cfg.Presets {
+		for s := 0; s < cfg.SeedsPerPreset; s++ {
+			seed := cfg.Seed + int64(len(cases))*7919
+			cases = append(cases, Case{
+				Preset: p, Seed: seed, Threads: cfg.Threads, Ops: cfg.Ops, Stride: cfg.Stride,
+			})
+			for cp := 0; cp < cfg.CrashPoints; cp++ {
+				at := uint64(float64(cfg.CrashLo) * math.Pow(span, rng.Float64()))
+				cases = append(cases, Case{
+					Preset: p, Seed: cfg.Seed + int64(len(cases))*7919,
+					Threads: cfg.Threads, Ops: cfg.Ops, Stride: cfg.Stride,
+					CrashAt: at, Mix: cfg.Mix,
+				})
+			}
+		}
+	}
+	// The negative controls run under the issue's pressure config: a
+	// 2-entry Dependence List with the commit rule deliberately weakened.
+	for n := 0; n < cfg.NegativeControls; n++ {
+		cases = append(cases, Case{
+			Preset: "dep2", Seed: cfg.Seed + int64(len(cases))*7919,
+			Threads: cfg.Threads, Ops: min(cfg.Ops, 12),
+			NegativeControl: true,
+		})
+	}
+	return cases, nil
+}
+
+// Summary aggregates a torture sweep.
+type Summary struct {
+	Total    int             `json:"total"`
+	Counts   map[Verdict]int `json:"counts"`
+	Outcomes []Outcome       `json:"outcomes"`
+	// ControlsCaught/ControlsMissed track the seeded negative controls:
+	// caught means the invariant engine returned a violation verdict.
+	ControlsCaught int `json:"controls_caught"`
+	ControlsMissed int `json:"controls_missed"`
+}
+
+// Bad counts the outcomes that must fail a CI gate: violations, stalls
+// and harness errors on real cases, plus negative controls that were NOT
+// caught (a blind invariant engine is the worst failure of all).
+func (s *Summary) Bad() int {
+	bad := s.ControlsMissed
+	for _, o := range s.Outcomes {
+		if o.Case.NegativeControl {
+			continue
+		}
+		switch o.Verdict {
+		case VerdictViolation, VerdictStall, VerdictError:
+			bad++
+		}
+	}
+	return bad
+}
+
+// Violations returns the non-control violation outcomes.
+func (s *Summary) Violations() []Outcome {
+	var out []Outcome
+	for _, o := range s.Outcomes {
+		if !o.Case.NegativeControl && o.Verdict == VerdictViolation {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Sweep runs the case matrix on a worker pool, shrinking each violating
+// schedule when a budget is given. Outcomes keep submission order.
+func Sweep(cfg SweepConfig) (*Summary, error) {
+	cases, err := cfg.Cases()
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]runner.Job[Outcome], len(cases))
+	for i, c := range cases {
+		c := c
+		jobs[i] = runner.Job[Outcome]{Label: c.String(), Run: func() Outcome { return RunCase(c) }}
+	}
+	outcomes, err := runner.Collect(runner.New(cfg.Workers), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("torture: sweep: %w", err)
+	}
+
+	sum := &Summary{Total: len(outcomes), Counts: make(map[Verdict]int), Outcomes: outcomes}
+	for i := range outcomes {
+		o := &sum.Outcomes[i]
+		sum.Counts[o.Verdict]++
+		if o.Case.NegativeControl {
+			if o.Verdict == VerdictViolation {
+				sum.ControlsCaught++
+			} else {
+				sum.ControlsMissed++
+			}
+		}
+		if o.Verdict == VerdictViolation && cfg.ShrinkBudget > 0 {
+			o.Shrunk = Shrink(o.Case, cfg.ShrinkBudget)
+		}
+	}
+	return sum, nil
+}
+
+// Shrink minimizes the schedule behind a violating case by ddmin replay:
+// it reruns deterministic subsequences of the schedule and returns the
+// smallest one still producing a violation. budget bounds the reruns.
+func Shrink(c Case, budget int) []Op {
+	return crashtest.DDMin(c.schedule(), func(sub []Op) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		cc := c
+		cc.Schedule = sub
+		return RunCase(cc).Verdict == VerdictViolation
+	})
+}

@@ -1,0 +1,172 @@
+package torture
+
+import (
+	"encoding/json"
+	"testing"
+
+	"asap/internal/faults"
+)
+
+// TestCleanCaseEveryPreset: a drain-to-completion schedule must pass on
+// every exhaustion configuration with the invariant engine attached — the
+// squeezed structures may stall and spill, but never break the protocol.
+func TestCleanCaseEveryPreset(t *testing.T) {
+	for _, p := range Presets() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			o := RunCase(Case{Preset: p.Name, Seed: 11, Threads: 3, Ops: 25, Stride: 1})
+			if o.Verdict != VerdictPass {
+				t.Fatalf("%s: want pass, got %s: %s\nviolations: %v\nstall: %s",
+					p.Name, o.Verdict, o.Detail, o.Violations, o.Stall)
+			}
+			if o.Checks == 0 {
+				t.Fatal("invariant engine never ran a pass")
+			}
+			if o.Regions == 0 {
+				t.Fatal("schedule committed no regions")
+			}
+		})
+	}
+}
+
+// TestNegativeControlCaughtAndShrunk is the acceptance criterion: the
+// seeded commit-rule weakening under a 2-entry Dependence List must be
+// caught as a violation, and ddmin must shrink the schedule to a smaller
+// reproducer that still violates on replay.
+func TestNegativeControlCaughtAndShrunk(t *testing.T) {
+	c := Case{Preset: "dep2", Seed: 5, Threads: 3, Ops: 12, NegativeControl: true}
+	o := RunCase(c)
+	if o.Verdict != VerdictViolation {
+		t.Fatalf("negative control not caught: verdict %s (%s)", o.Verdict, o.Detail)
+	}
+	full := c.schedule()
+	shrunk := Shrink(c, 200)
+	if len(shrunk) == 0 || len(shrunk) >= len(full) {
+		t.Fatalf("shrink returned %d ops from %d", len(shrunk), len(full))
+	}
+	c.Schedule = shrunk
+	if v := RunCase(c).Verdict; v != VerdictViolation {
+		t.Fatalf("shrunk schedule does not reproduce the violation: %s", v)
+	}
+	t.Logf("shrunk %d ops to %d: %v", len(full), len(shrunk), shrunk)
+}
+
+// TestCrashCasesNeverViolate: crashes at arbitrary points under the full
+// fault mixture (including LH-WPQ header drops) on squeezed machines must
+// always land on recovered/detected/pass — never a silently broken image.
+func TestCrashCasesNeverViolate(t *testing.T) {
+	mix := faults.Mix{TornPct: 0.2, DropPct: 0.2, ReorderPct: 0.3, LHDropPct: 0.3, BitFlips: 1}
+	counts := map[Verdict]int{}
+	for i, preset := range []string{"baseline", "dep2", "lhwpq1", "squeeze"} {
+		for _, at := range []uint64{1_000, 9_000, 60_000} {
+			c := Case{
+				Preset: preset, Seed: int64(100*i) + int64(at), Threads: 3, Ops: 40,
+				CrashAt: at, Mix: mix,
+			}
+			o := RunCase(c)
+			counts[o.Verdict]++
+			if o.Verdict == VerdictViolation || o.Verdict == VerdictError || o.Verdict == VerdictStall {
+				t.Errorf("%s: %s: %s\nviolations: %v", c, o.Verdict, o.Detail, o.Violations)
+			}
+		}
+	}
+	t.Logf("verdicts: %v", counts)
+	if counts[VerdictDetected] == 0 && counts[VerdictRecovered] == 0 {
+		t.Error("no crash case exercised the fault path")
+	}
+}
+
+// TestScheduleDeterministic: the same seed always generates the same
+// schedule, and different seeds differ — replay depends on this.
+func TestScheduleDeterministic(t *testing.T) {
+	a, b := Generate(7, 3, 20), Generate(7, 3, 20)
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatal("same seed generated different schedules")
+	}
+	cj, _ := json.Marshal(Generate(8, 3, 20))
+	if string(aj) == string(cj) {
+		t.Fatal("different seeds generated identical schedules")
+	}
+	if len(a) != 60 {
+		t.Fatalf("schedule length %d, want 60", len(a))
+	}
+}
+
+// TestSweepDeterministicCases: the case list is a pure function of the
+// config, so CI reruns sweep identical cases.
+func TestSweepDeterministicCases(t *testing.T) {
+	cfg := SweepConfig{Seed: 3, SeedsPerPreset: 2, CrashPoints: 1}
+	a, err := cfg.Cases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := cfg.Cases()
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatal("case list not deterministic")
+	}
+	want := len(PresetNames())*2*(1+1) + 2 // (clean + crash) per seed + controls
+	if len(a) != want {
+		t.Fatalf("got %d cases, want %d", len(a), want)
+	}
+	if _, err := (SweepConfig{Presets: []string{"nope"}}).Cases(); err == nil {
+		t.Fatal("Cases accepted an unknown preset")
+	}
+}
+
+// TestSweepSmall runs a bounded sweep in-process: zero bad outcomes, and
+// the negative controls are caught (and shrunk, proving the ddmin path).
+func TestSweepSmall(t *testing.T) {
+	sum, err := Sweep(SweepConfig{
+		Presets: []string{"baseline", "dep2", "squeeze"}, SeedsPerPreset: 1,
+		Seed: 9, Threads: 3, Ops: 25, CrashPoints: 1,
+		Mix:              faults.Mix{DropPct: 0.3, LHDropPct: 0.3},
+		NegativeControls: 1, ShrinkBudget: 120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Bad() != 0 {
+		for _, v := range sum.Violations() {
+			t.Errorf("violation: %s: %s", v.Case, v.Detail)
+		}
+		t.Fatalf("%d bad outcomes (counts %v, controls missed %d)",
+			sum.Bad(), sum.Counts, sum.ControlsMissed)
+	}
+	if sum.ControlsCaught != 1 || sum.ControlsMissed != 0 {
+		t.Fatalf("controls: caught %d missed %d, want 1/0", sum.ControlsCaught, sum.ControlsMissed)
+	}
+	for _, o := range sum.Outcomes {
+		if o.Case.NegativeControl && len(o.Shrunk) == 0 {
+			t.Error("caught control was not shrunk")
+		}
+	}
+	t.Logf("verdicts: %v", sum.Counts)
+}
+
+// TestUnknownPresetErrors keeps the CLI's error path honest.
+func TestUnknownPresetErrors(t *testing.T) {
+	if o := RunCase(Case{Preset: "nope", Threads: 1, Ops: 1}); o.Verdict != VerdictError {
+		t.Fatalf("want error verdict, got %s", o.Verdict)
+	}
+}
+
+// TestOutcomeJSONRoundTrips: the CLI report is JSON.
+func TestOutcomeJSONRoundTrips(t *testing.T) {
+	o := RunCase(Case{Preset: "lhwpq1", Seed: 3, Threads: 2, Ops: 10,
+		CrashAt: 4_000, Mix: faults.Mix{LHDropPct: 1}})
+	blob, err := json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Outcome
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Verdict != o.Verdict || len(back.Faults) != len(o.Faults) {
+		t.Fatalf("round trip lost data: %+v vs %+v", back, o)
+	}
+}

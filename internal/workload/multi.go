@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"errors"
+
 	"asap/internal/sim"
 	"asap/internal/stats"
 )
@@ -20,6 +22,8 @@ type MultiResult struct {
 	Stats map[string]int64
 	// CheckErrs holds any per-benchmark consistency failures.
 	CheckErrs []string
+	// Stall is non-nil when the co-run never drained (see Result.Stall).
+	Stall *sim.StallError
 }
 
 // Throughput returns combined operations per kilocycle.
@@ -84,6 +88,13 @@ func RunMulti(env *Env, benches []Benchmark, cfg Config) MultiResult {
 			}
 		}
 	})
-	env.M.K.Run()
+	if err := env.M.K.Run(); err != nil {
+		var se *sim.StallError
+		if errors.As(err, &se) {
+			res.Stall = se
+		} else {
+			res.CheckErrs = append(res.CheckErrs, err.Error())
+		}
+	}
 	return res
 }

@@ -8,6 +8,7 @@ package workload
 
 import (
 	"encoding/binary"
+	"errors"
 	"math/rand"
 
 	"asap/internal/machine"
@@ -196,6 +197,11 @@ type Result struct {
 	Stats map[string]int64
 	// CheckErr is the post-run invariant verdict ("" = consistent).
 	CheckErr string
+	// Stall is non-nil when the run never drained: the kernel's
+	// forward-progress watchdog (or its deadlock detector) stopped the
+	// simulation and attached its diagnosis. The measured fields are
+	// meaningless in that case.
+	Stall *sim.StallError
 	// RegionP50/P95/P99 are core-visible region-latency percentiles in
 	// cycles (upper bucket bounds), for the tail-latency analysis the
 	// paper's introduction motivates.
@@ -282,7 +288,14 @@ func Run(env *Env, b Benchmark, cfg Config) Result {
 		res.RegionP99 = hist.Quantile(0.99)
 		res.CheckErr = b.Check(ctx)
 	})
-	env.M.K.Run()
+	if err := env.M.K.Run(); err != nil {
+		var se *sim.StallError
+		if errors.As(err, &se) {
+			res.Stall = se
+		} else {
+			res.CheckErr = err.Error()
+		}
+	}
 	return res
 }
 

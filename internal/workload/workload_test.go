@@ -42,6 +42,30 @@ func smallCfg() Config {
 	}
 }
 
+// stuckBench wedges its first worker forever: the run can never drain, so
+// Run must come back with a Stall diagnosis instead of panicking.
+type stuckBench struct{}
+
+func (stuckBench) Name() string       { return "STUCK" }
+func (stuckBench) Setup(*Ctx, Config) {}
+func (stuckBench) Check(*Ctx) string  { return "" }
+func (stuckBench) Op(c *Ctx, i int) {
+	c.T.WaitUntil(func() bool { return false })
+}
+
+func TestStallSurfacesInResult(t *testing.T) {
+	env := newEnv("ASAP", nil)
+	cfg := smallCfg()
+	cfg.Threads, cfg.OpsPerThread = 2, 1
+	res := Run(env, stuckBench{}, cfg)
+	if res.Stall == nil {
+		t.Fatal("wedged run returned no Stall diagnosis")
+	}
+	if len(res.Stall.Blocked) == 0 {
+		t.Fatalf("stall has no blocked-thread report: %v", res.Stall)
+	}
+}
+
 func TestAllBenchmarksUnderASAP(t *testing.T) {
 	for _, b := range All() {
 		b := b
