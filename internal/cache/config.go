@@ -9,6 +9,12 @@
 package cache
 
 // LevelConfig sizes one cache level.
+//
+// Sets is rounded up to the next power of two when the level is built, so
+// the set index is a mask of the line address rather than a modulo; a
+// non-power-of-two value therefore yields a slightly larger cache. Every
+// Table 2 configuration is already a power of two, for which the rounding
+// is the identity.
 type LevelConfig struct {
 	Sets    int
 	Ways    int

@@ -29,7 +29,7 @@ func line(i int) arch.LineAddr { return arch.LineAddr(i * arch.LineSize) }
 
 func mustAccess(t *testing.T, h *Hierarchy, core int, l arch.LineAddr, write bool) uint64 {
 	t.Helper()
-	lat, ok := h.Access(core, l, write)
+	lat, _, ok := h.Access(core, l, write)
 	if !ok {
 		t.Fatalf("Access(%d, %v) stalled unexpectedly", core, l)
 	}
@@ -141,14 +141,14 @@ func TestFullyPinnedSetStalls(t *testing.T) {
 	mustAccess(t, h, 0, line(8), true)
 	h.Table().Get(line(0)).Lock()
 	h.Table().Get(line(8)).Lock()
-	if _, ok := h.Access(0, line(16), false); ok {
+	if _, _, ok := h.Access(0, line(16), false); ok {
 		t.Fatal("access should stall when the whole L3 set is pinned")
 	}
 	if h.CanAccess(0, line(16)) {
 		t.Fatal("CanAccess should be false")
 	}
 	h.Table().Get(line(0)).Unlock()
-	if _, ok := h.Access(0, line(16), false); !ok {
+	if _, _, ok := h.Access(0, line(16), false); !ok {
 		t.Fatal("access should proceed after unlock")
 	}
 }
@@ -165,10 +165,12 @@ func TestAccessBlockingWaitsForUnlock(t *testing.T) {
 	h := NewHierarchy(st, f, 1, cfg, func(arch.LineAddr) bool { return true })
 	var done uint64
 	k.Spawn("t", func(th *sim.Thread) {
-		th.Advance(h.AccessBlocking(th, 0, line(0), true))
+		lat0, _ := h.AccessBlocking(th, 0, line(0), true)
+		th.Advance(lat0)
 		h.Table().Get(line(0)).Lock()
 		k.Schedule(500, func() { h.Table().Get(line(0)).Unlock() })
-		th.Advance(h.AccessBlocking(th, 0, line(1), false))
+		lat1, _ := h.AccessBlocking(th, 0, line(1), false)
+		th.Advance(lat1)
 		done = th.Now()
 	})
 	k.Run()

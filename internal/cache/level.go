@@ -1,88 +1,126 @@
 package cache
 
-import "asap/internal/arch"
+import (
+	"math/bits"
 
-// slot is one way of one set.
-type slot struct {
-	line    arch.LineAddr
-	valid   bool
-	dirty   bool
-	lastUse uint64
+	"asap/internal/arch"
+)
+
+// level is one cache array (an L1, an L2, or the shared L3), stored
+// struct-of-arrays for scan speed: the associative tag match touches only
+// the packed tags array (16 ways = two cache lines instead of the eight an
+// array-of-slots layout costs), and the set index is a mask, not a modulo.
+//
+// Slots are named by index si = set*ways + way. A slot's validity is
+// encoded in its tag: tag 0 is invalid, a valid slot holds line|1 (line
+// addresses have their low LineShift bits clear, so every valid tag is odd
+// and line 0 is representable).
+type level struct {
+	cfg     LevelConfig
+	setMask uint64 // sets-1; sets is a power of two
+	ways    int
+	tags    []uint64 // sets*ways packed tags: 0 = invalid, else line|1
+	dirty   []bool
+	lastUse []uint64
+	meta    []*Meta // per-slot metadata: the victim scan's pinned check
+	clock   uint64  // LRU timestamp source
 }
 
-// level is one cache array (an L1, an L2, or the shared L3).
-type level struct {
-	cfg   LevelConfig
-	sets  [][]slot
-	clock uint64 // LRU timestamp source
+// ceilPow2 rounds n up to the next power of two (minimum 1).
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
 }
 
 func newLevel(cfg LevelConfig) *level {
-	// One backing array for all sets: building a machine per experiment
-	// run makes per-set allocation the dominant construction cost.
-	l := &level{cfg: cfg, sets: make([][]slot, cfg.Sets)}
-	backing := make([]slot, cfg.Sets*cfg.Ways)
-	for i := range l.sets {
-		l.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	// Power-of-two sets let setOf mask instead of divide. Non-power-of-two
+	// Sets configs are rounded up (documented in LevelConfig); every config
+	// in the repo and in Table 2 is already a power of two, for which this
+	// is the identity.
+	sets := ceilPow2(cfg.Sets)
+	cfg.Sets = sets
+	n := sets * cfg.Ways
+	return &level{
+		cfg:     cfg,
+		setMask: uint64(sets - 1),
+		ways:    cfg.Ways,
+		tags:    make([]uint64, n),
+		dirty:   make([]bool, n),
+		lastUse: make([]uint64, n),
+		meta:    make([]*Meta, n),
 	}
-	return l
 }
 
-func (l *level) setOf(line arch.LineAddr) []slot {
-	return l.sets[int(uint64(line)>>arch.LineShift)%l.cfg.Sets]
+// sets returns the effective (rounded) set count.
+func (l *level) sets() int { return int(l.setMask) + 1 }
+
+// setBase returns the first slot index of line's set.
+func (l *level) setBase(line arch.LineAddr) int {
+	return int(uint64(line)>>arch.LineShift&l.setMask) * l.ways
 }
 
-// lookup returns the slot holding line, or nil.
-func (l *level) lookup(line arch.LineAddr) *slot {
-	set := l.setOf(line)
-	for i := range set {
-		if set[i].valid && set[i].line == line {
-			return &set[i]
+// lookup returns the slot index holding line, or -1. The scan reads only
+// the packed tags of one set.
+func (l *level) lookup(line arch.LineAddr) int {
+	base := l.setBase(line)
+	tag := uint64(line) | 1
+	for i, t := range l.tags[base : base+l.ways] {
+		if t == tag {
+			return base + i
 		}
 	}
-	return nil
+	return -1
 }
 
-func (l *level) touch(s *slot) {
+func (l *level) touch(si int) {
 	l.clock++
-	s.lastUse = l.clock
+	l.lastUse[si] = l.clock
 }
 
-// victim picks the fill target in line's set: an invalid way if any,
-// otherwise the LRU way among those whose lines are not pinned (LockBit).
-// Returns nil if every way is pinned — the caller must stall.
-func (l *level) victim(line arch.LineAddr, pinned func(arch.LineAddr) bool) *slot {
-	set := l.setOf(line)
-	var lru *slot
-	for i := range set {
-		s := &set[i]
-		if !s.valid {
-			return s
+// victim picks the fill target in line's set: the first invalid way if
+// any, otherwise the LRU way among those whose lines are not pinned
+// (LockBit). Returns -1 if every way is pinned — the caller must stall.
+// The pinned check reads the slot's own Meta pointer; no table probe.
+func (l *level) victim(line arch.LineAddr) int {
+	base := l.setBase(line)
+	lru := -1
+	for i := 0; i < l.ways; i++ {
+		si := base + i
+		if l.tags[si] == 0 {
+			return si
 		}
-		if pinned(s.line) {
+		if l.meta[si].Locks > 0 {
 			continue
 		}
-		if lru == nil || s.lastUse < lru.lastUse {
-			lru = s
+		if lru < 0 || l.lastUse[si] < l.lastUse[lru] {
+			lru = si
 		}
 	}
 	return lru
 }
 
+// lineOf returns the line held by a valid slot.
+func (l *level) lineOf(si int) arch.LineAddr {
+	return arch.LineAddr(l.tags[si] &^ 1)
+}
+
 // invalidate drops line from the level, returning whether it was present
 // and whether it was dirty.
 func (l *level) invalidate(line arch.LineAddr) (present, dirty bool) {
-	if s := l.lookup(line); s != nil {
-		s.valid = false
-		return true, s.dirty
+	if si := l.lookup(line); si >= 0 {
+		l.tags[si] = 0
+		l.meta[si] = nil
+		return true, l.dirty[si]
 	}
 	return false, false
 }
 
 // install places line into the given slot (already chosen by victim).
-func (l *level) install(s *slot, line arch.LineAddr, dirty bool) {
-	s.line = line
-	s.valid = true
-	s.dirty = dirty
-	l.touch(s)
+func (l *level) install(si int, line arch.LineAddr, m *Meta, dirty bool) {
+	l.tags[si] = uint64(line) | 1
+	l.meta[si] = m
+	l.dirty[si] = dirty
+	l.touch(si)
 }

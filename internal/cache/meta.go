@@ -51,41 +51,117 @@ func (m *Meta) Unlock() {
 	m.Locks--
 }
 
-// Table is the line-metadata registry for the whole hierarchy.
+// Handle is the compact name of one line's Meta slot in the flat store:
+// an index into the table's chunked arena. It is what a hardware tag
+// extension would carry instead of a full line address.
+type Handle int32
+
+// NoHandle marks "no metadata allocated for this line".
+const NoHandle Handle = -1
+
+// Meta slots are allocated from fixed-size chunks so that *Meta pointers
+// stay valid forever (the engine, the schemes, and the cache slots all
+// hold them) while the bulk storage stays contiguous and map-free.
+const (
+	metaChunkShift = 12 // 4096 lines per chunk
+	metaChunkSize  = 1 << metaChunkShift
+	metaChunkMask  = metaChunkSize - 1
+)
+
+// Table is the line-metadata registry for the whole hierarchy. Metadata
+// lives in a flat chunked arena indexed by Handle; the map exists only to
+// translate a line address to its handle on the cold first-touch/miss
+// path. Hot paths (cache hits, victim scans, DPO eligibility) never touch
+// the map: they reach the Meta through a pointer cached in the cache slot
+// or in the engine's per-line structures.
 type Table struct {
-	meta         map[arch.LineAddr]*Meta
+	chunks       [][]Meta
+	n            int
+	byLine       map[arch.LineAddr]Handle
 	isPersistent func(arch.LineAddr) bool
 }
 
 // NewTable builds a metadata table. isPersistent is the page-table lookup
 // that seeds the PBit on first touch.
 func NewTable(isPersistent func(arch.LineAddr) bool) *Table {
-	return &Table{meta: make(map[arch.LineAddr]*Meta), isPersistent: isPersistent}
+	return &Table{byLine: make(map[arch.LineAddr]Handle), isPersistent: isPersistent}
+}
+
+// At returns the metadata named by handle h. The pointer is stable for the
+// lifetime of the table.
+func (t *Table) At(h Handle) *Meta {
+	return &t.chunks[h>>metaChunkShift][h&metaChunkMask]
+}
+
+// HandleOf returns the handle for line, or NoHandle if the line has never
+// been touched.
+func (t *Table) HandleOf(line arch.LineAddr) Handle {
+	if h, ok := t.byLine[line]; ok {
+		return h
+	}
+	return NoHandle
+}
+
+// Len returns the number of lines with allocated metadata.
+func (t *Table) Len() int { return t.n }
+
+// GetH returns the handle and metadata for line, allocating a slot (with
+// the PBit seeded from the page table) on first touch.
+func (t *Table) GetH(line arch.LineAddr) (Handle, *Meta) {
+	if h, ok := t.byLine[line]; ok {
+		return h, t.At(h)
+	}
+	if t.n>>metaChunkShift == len(t.chunks) {
+		t.chunks = append(t.chunks, make([]Meta, metaChunkSize))
+	}
+	h := Handle(t.n)
+	t.n++
+	m := t.At(h)
+	m.line = line
+	m.PBit = t.isPersistent(line)
+	t.byLine[line] = h
+	return h, m
 }
 
 // Get returns the metadata for line, creating it (with the PBit seeded from
 // the page table) on first touch.
 func (t *Table) Get(line arch.LineAddr) *Meta {
-	m, ok := t.meta[line]
-	if !ok {
-		m = &Meta{line: line, PBit: t.isPersistent(line)}
-		t.meta[line] = m
-	}
+	_, m := t.GetH(line)
 	return m
 }
 
 // Peek returns the metadata for line without creating it.
-func (t *Table) Peek(line arch.LineAddr) *Meta { return t.meta[line] }
+func (t *Table) Peek(line arch.LineAddr) *Meta {
+	if h, ok := t.byLine[line]; ok {
+		return t.At(h)
+	}
+	return nil
+}
+
+// visit calls fn for every allocated Meta in allocation (handle) order.
+func (t *Table) visit(fn func(m *Meta)) {
+	left := t.n
+	for _, chunk := range t.chunks {
+		n := len(chunk)
+		if left < n {
+			n = left
+		}
+		for i := 0; i < n; i++ {
+			fn(&chunk[i])
+		}
+		left -= n
+	}
+}
 
 // LockedCount returns how many lines are currently pinned by in-flight
 // LPOs (diagnostics and invariant tests).
 func (t *Table) LockedCount() int {
 	n := 0
-	for _, m := range t.meta {
+	t.visit(func(m *Meta) {
 		if m.Locked() {
 			n++
 		}
-	}
+	})
 	return n
 }
 
@@ -93,23 +169,21 @@ func (t *Table) LockedCount() int {
 // invariant engine checks it against the engine's own in-flight counter.
 func (t *Table) LocksTotal() int {
 	n := 0
-	for _, m := range t.meta {
-		n += m.Locks
-	}
+	t.visit(func(m *Meta) { n += m.Locks })
 	return n
 }
 
 // VisitLocked calls fn for every line currently pinned by an in-flight
 // LPO, in ascending line order (deterministic violation reports).
 func (t *Table) VisitLocked(fn func(m *Meta)) {
-	lines := make([]arch.LineAddr, 0, 8)
-	for line, m := range t.meta {
+	locked := make([]*Meta, 0, 8)
+	t.visit(func(m *Meta) {
 		if m.Locked() {
-			lines = append(lines, line)
+			locked = append(locked, m)
 		}
-	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
-	for _, line := range lines {
-		fn(t.meta[line])
+	})
+	sort.Slice(locked, func(i, j int) bool { return locked[i].line < locked[j].line })
+	for _, m := range locked {
+		fn(m)
 	}
 }

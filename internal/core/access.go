@@ -9,7 +9,6 @@ import (
 	"asap/internal/memdev"
 	"asap/internal/obs"
 	"asap/internal/sim"
-	"asap/internal/stats"
 	"asap/internal/trace"
 	"asap/internal/wal"
 )
@@ -19,10 +18,10 @@ import (
 func (e *Engine) Load(t *sim.Thread, addr uint64, buf []byte) {
 	ts := e.state(t)
 	machine.VisitLines(addr, len(buf), func(line arch.LineAddr) {
-		lat := e.m.Caches.AccessBlocking(t, ts.core, line, false)
+		lat, meta := e.m.Caches.AccessBlocking(t, ts.core, line, false)
 		t.Advance(lat)
 		if e.m.Heap.IsPersistentLine(line) {
-			e.onPersistentAccess(t, ts, line, false)
+			e.onPersistentAccess(t, ts, line, meta, false)
 		}
 	})
 	e.m.Heap.Read(addr, buf)
@@ -35,18 +34,19 @@ func (e *Engine) Load(t *sim.Thread, addr uint64, buf []byte) {
 func (e *Engine) Store(t *sim.Thread, addr uint64, data []byte) {
 	ts := e.state(t)
 	machine.VisitLines(addr, len(data), func(line arch.LineAddr) {
-		lat := e.m.Caches.AccessBlocking(t, ts.core, line, true)
+		lat, meta := e.m.Caches.AccessBlocking(t, ts.core, line, true)
 		t.Advance(lat)
 		if e.m.Heap.IsPersistentLine(line) {
-			e.onPersistentAccess(t, ts, line, true)
+			e.onPersistentAccess(t, ts, line, meta, true)
 		}
 	})
 	e.m.Heap.Write(addr, data)
 }
 
-// onPersistentAccess performs the §4.6 per-access hardware work.
-func (e *Engine) onPersistentAccess(t *sim.Thread, ts *threadState, line arch.LineAddr, isWrite bool) {
-	meta := e.m.Caches.Table().Get(line)
+// onPersistentAccess performs the §4.6 per-access hardware work. meta is
+// the line's tag-extension metadata, threaded through from the cache
+// access so the hot path never re-probes the table.
+func (e *Engine) onPersistentAccess(t *sim.Thread, ts *threadState, line arch.LineAddr, meta *cache.Meta, isWrite bool) {
 	r := ts.cur
 	if r == nil {
 		// Access outside any atomic region: not logged, not tracked. A
@@ -75,7 +75,7 @@ func (e *Engine) onPersistentAccess(t *sim.Thread, ts *threadState, line arch.Li
 		e.initiateLPO(t, ts, r, line, meta)
 		meta.Owner = r.rid
 	}
-	e.noteWrite(t, r, line)
+	e.noteWrite(t, r, line, meta)
 }
 
 // initiateLPO allocates a log entry, pins the line, and sends the old
@@ -86,7 +86,7 @@ func (e *Engine) initiateLPO(t *sim.Thread, ts *threadState, r *regionState, lin
 	if r.rec == nil {
 		lh := e.homeLH(r.rid)
 		if !lh.HasSpaceFor(r.rid) {
-			e.m.St.Inc(stats.LHWPQStalls)
+			*e.m.Cells.LHWPQStalls++
 			e.prof.Enter(t, obs.LHWPQFull)
 			t.WaitUntil(func() bool { return lh.HasSpaceFor(r.rid) })
 			e.prof.Exit(t)
@@ -94,7 +94,7 @@ func (e *Engine) initiateLPO(t *sim.Thread, ts *threadState, r *regionState, lin
 		header, end, ok := ts.log.AllocRecord()
 		if !ok {
 			// Log overflow exception (§4.4): grow the buffer.
-			e.m.St.Inc(stats.LogOverflows)
+			*e.m.Cells.LogOverflows++
 			e.prof.Enter(t, obs.LogOverflow)
 			t.Advance(e.opt.OverflowPenalty)
 			e.prof.Exit(t)
@@ -133,17 +133,18 @@ func (e *Engine) initiateLPO(t *sim.Thread, ts *threadState, r *regionState, lin
 	// again while the clock advances.
 	var refetch uint64
 	if !e.m.Caches.Present(line) {
-		refetch = e.m.Caches.AccessBlocking(t, ts.core, line, true)
+		refetch, _ = e.m.Caches.AccessBlocking(t, ts.core, line, true)
 	}
 	meta.Lock()
 	e.lpoInFlight++
 	if refetch != 0 {
 		t.Advance(refetch)
 	}
-	payload := e.m.Heap.ReadLine(line) // old value, pre-store
-	e.m.St.Inc(stats.LPOsIssued)
+	entry := e.m.Fabric.NewEntry(memdev.KindLPO, r.rid, logLine, line)
+	e.m.Heap.ReadLineInto(line, entry.Payload) // old value, pre-store
+	payload := entry.Payload                   // read again at acceptance, before any recycle
+	*e.m.Cells.LPOsIssued++
 	e.emit(trace.LPOIssue, r.rid, line, 0)
-	entry := &memdev.Entry{Kind: memdev.KindLPO, RID: r.rid, Dst: logLine, Subject: line, Payload: payload}
 	e.m.Fabric.SubmitPersistOn(e.m.Fabric.ChannelFor(rec.header), entry, func(uint64) {
 		e.lpoAccepted(r, rec, line, logLine, meta, payload)
 	})
@@ -173,8 +174,8 @@ func (e *Engine) lpoAccepted(r *regionState, rec *record, line, logLine arch.Lin
 		// LH-WPQ slot frees once the WPQ has accepted the header, so the
 		// header contents never leave the persistence domain.
 		lh := e.homeLH(r.rid)
-		payload := wal.EncodeHeaderChecked(r.rid, rec.h.DataLines, rec.h.PayloadCRC)
-		hdr := &memdev.Entry{Kind: memdev.KindLogHeader, RID: r.rid, Dst: rec.header, Subject: rec.header, Payload: payload}
+		hdr := e.m.Fabric.NewEntry(memdev.KindLogHeader, r.rid, rec.header, rec.header)
+		hdr.SetPayload(wal.EncodeHeaderChecked(r.rid, rec.h.DataLines, rec.h.PayloadCRC))
 		headerAddr := rec.header
 		e.m.Fabric.SubmitPersistOn(e.m.Fabric.ChannelFor(rec.header), hdr, func(uint64) {
 			lh.FinishClose(headerAddr)
@@ -209,13 +210,15 @@ func (e *Engine) lineUnlocked(line arch.LineAddr) {
 
 // noteWrite tracks the write in the region's CL List entry (§4.6.2),
 // stalling if all CLPtr slots are busy, and re-evaluates DPO initiation
-// for every slot (the coalescing distance counter advanced).
-func (e *Engine) noteWrite(t *sim.Thread, r *regionState, line arch.LineAddr) {
+// for every slot (the coalescing distance counter advanced). meta is the
+// written line's metadata; it is cached in the CLPtr slot so DPO
+// eligibility checks read the lock count directly.
+func (e *Engine) noteWrite(t *sim.Thread, r *regionState, line arch.LineAddr, meta *cache.Meta) {
 	cl := r.cl
 	if cl.Slot(line) == nil && !r.clList.CanAddSlot(cl, line) {
 		// All CLPtr slots busy: force the pending DPOs out (ignoring the
 		// coalescing distance) and stall until one completes (§4.6.2).
-		e.m.St.Inc(stats.CLStalls)
+		*e.m.Cells.CLStalls++
 		for _, s := range append([]*CLSlot(nil), cl.Slots...) {
 			s.Forced = true
 			e.maybeIssueDPO(r, s)
@@ -230,9 +233,10 @@ func (e *Engine) noteWrite(t *sim.Thread, r *regionState, line arch.LineAddr) {
 		}
 	}
 	s := r.clList.AddSlot(cl, line)
+	s.Meta = meta
 	if s.NeedIssue || s.Outstanding > 0 {
 		// This write rides an already-pending DPO: a coalescing win.
-		e.m.St.Inc(stats.DPOsCoalesce)
+		*e.m.Cells.DPOsCoalesce++
 	}
 	s.NeedIssue = true
 	s.Age = 0
@@ -250,8 +254,7 @@ func (e *Engine) maybeIssueDPO(r *regionState, s *CLSlot) {
 	if !s.NeedIssue || s.Outstanding > 0 {
 		return
 	}
-	meta := e.m.Caches.Table().Get(s.Line)
-	if meta.Locked() {
+	if s.Meta.Locked() {
 		return
 	}
 	done := r.cl != nil && r.cl.Done
@@ -260,10 +263,10 @@ func (e *Engine) maybeIssueDPO(r *regionState, s *CLSlot) {
 	}
 	s.NeedIssue = false
 	s.Outstanding++
-	e.m.St.Inc(stats.DPOsIssued)
+	*e.m.Cells.DPOsIssued++
 	e.emit(trace.DPOIssue, r.rid, s.Line, 0)
-	payload := e.m.Heap.ReadLine(s.Line)
-	entry := &memdev.Entry{Kind: memdev.KindDPO, RID: r.rid, Dst: s.Line, Subject: s.Line, Payload: payload}
+	entry := e.m.Fabric.NewEntry(memdev.KindDPO, r.rid, s.Line, s.Line)
+	e.m.Heap.ReadLineInto(s.Line, entry.Payload)
 	e.m.Fabric.SubmitPersist(entry, func(uint64) { e.dpoAccepted(r, s) })
 }
 
@@ -296,14 +299,14 @@ func (e *Engine) onLLCEvict(info cache.EvictInfo) {
 		if e.depOf(meta.Owner) != nil {
 			e.ownerBuf[info.Line] = meta.Owner
 			e.bloom.Add(info.Line)
-			e.m.St.Inc(stats.OwnerIDSpills)
+			*e.m.Cells.OwnerIDSpills++
 			e.emit(trace.OwnerSpill, meta.Owner, info.Line, 0)
 		}
 		meta.Owner = arch.NoRID // the tag leaves the chip with the line
 	}
 	if info.Dirty {
-		payload := e.m.Heap.ReadLine(info.Line)
-		entry := &memdev.Entry{Kind: memdev.KindEvict, Dst: info.Line, Subject: info.Line, Payload: payload}
+		entry := e.m.Fabric.NewEntry(memdev.KindEvict, arch.NoRID, info.Line, info.Line)
+		e.m.Heap.ReadLineInto(info.Line, entry.Payload)
 		e.m.Fabric.SubmitPersist(entry, nil)
 	}
 }
@@ -315,7 +318,7 @@ func (e *Engine) onFill(line arch.LineAddr, meta *cache.Meta) {
 	if !e.bloom.MayContain(line) {
 		return
 	}
-	e.m.St.Inc(stats.BloomHits)
+	*e.m.Cells.BloomHits++
 	rid, ok := e.ownerBuf[line]
 	if !ok {
 		return
@@ -323,7 +326,7 @@ func (e *Engine) onFill(line arch.LineAddr, meta *cache.Meta) {
 	delete(e.ownerBuf, line)
 	if e.depOf(rid) != nil {
 		meta.Owner = rid
-		e.m.St.Inc(stats.OwnerIDReloads)
+		*e.m.Cells.OwnerIDReloads++
 		e.emit(trace.OwnerReload, rid, line, 0)
 	}
 }

@@ -1,11 +1,19 @@
 package core
 
-import "asap/internal/arch"
+import (
+	"asap/internal/arch"
+	"asap/internal/cache"
+)
 
 // CLSlot is one CLPtr slot in a CL List entry (§4.6.2): a modified line
 // whose DPO has not yet completed.
 type CLSlot struct {
 	Line arch.LineAddr
+	// Meta is the line's tag-extension metadata, cached when the slot is
+	// (re)armed by a write so DPO-eligibility checks (lock count) are a
+	// field read, not a table probe. Hardware keeps the CLPtr next to the
+	// L1 controller for the same reason.
+	Meta *cache.Meta
 	// NeedIssue is set when the line has unpersisted writes requiring a
 	// DPO; cleared when the DPO is submitted.
 	NeedIssue bool

@@ -14,7 +14,6 @@ import (
 	"asap/internal/memdev"
 	"asap/internal/obs"
 	"asap/internal/sim"
-	"asap/internal/stats"
 	"asap/internal/trace"
 	"asap/internal/wal"
 )
@@ -216,7 +215,7 @@ func (e *Engine) Begin(t *sim.Thread) {
 	ts.cur = r
 	ts.last = r
 	ts.beginAt = t.Now()
-	e.m.St.Inc(stats.RegionsBegun)
+	*e.m.Cells.RegionsBegun++
 	e.emit(trace.RegionBegin, rid, 0, 0)
 	t.Advance(e.opt.BeginCost)
 }
@@ -250,8 +249,8 @@ func (e *Engine) End(t *sim.Thread) {
 		r.ts.log.FreeUpTo(r.logEnd)
 	}
 	e.emit(trace.RegionEnd, r.rid, 0, 0)
-	e.m.St.Add(stats.RegionCycles, int64(t.Now()-ts.beginAt))
-	e.m.St.Hist(stats.RegionLatency).Observe(t.Now() - ts.beginAt)
+	*e.m.Cells.RegionCycles += int64(t.Now() - ts.beginAt)
+	e.m.Cells.RegionLatency.Observe(t.Now() - ts.beginAt)
 }
 
 // Fence implements asap_fence (§5.2): block until the thread's latest
@@ -259,7 +258,7 @@ func (e *Engine) End(t *sim.Thread) {
 // on.
 func (e *Engine) Fence(t *sim.Thread) {
 	ts := e.state(t)
-	e.m.St.Inc(stats.Fences)
+	*e.m.Cells.Fences++
 	last := ts.last
 	if last == nil {
 		return
@@ -268,7 +267,7 @@ func (e *Engine) Fence(t *sim.Thread) {
 	e.prof.Enter(t, obs.FenceWait)
 	t.WaitUntil(func() bool { return last.committed })
 	e.prof.Exit(t)
-	e.m.St.Add(stats.FenceCycles, int64(t.Now()-start))
+	*e.m.Cells.FenceCycles += int64(t.Now() - start)
 }
 
 // DrainBarrier blocks until every region has committed and the memory
@@ -336,7 +335,7 @@ func (e *Engine) addDep(t *sim.Thread, r *regionState, dep arch.RID) {
 		return // already committed
 	}
 	if !r.dList.CanAddDep(r.dep, dep) {
-		e.m.St.Inc(stats.DepStalls)
+		*e.m.Cells.DepStalls++
 		e.prof.Enter(t, obs.DepSlot)
 		t.WaitUntil(func() bool {
 			return e.depOf(dep) == nil || r.dList.CanAddDep(r.dep, dep)
@@ -349,7 +348,7 @@ func (e *Engine) addDep(t *sim.Thread, r *regionState, dep arch.RID) {
 	r.dList.AddDep(r.dep, dep)
 	e.Edges = append(e.Edges, [2]arch.RID{dep, r.rid})
 	e.emit(trace.DepAdd, r.rid, 0, uint64(dep))
-	e.m.St.Inc(stats.DepEdges)
+	*e.m.Cells.DepEdges++
 }
 
 // l1Done is transition ③ of Figure 4: all the region's DPOs completed and
@@ -411,11 +410,11 @@ func (e *Engine) commit(r *regionState) []*regionState {
 	}
 	r.dList.Remove(r.rid)
 	delete(e.regions, r.rid)
-	e.m.St.Inc(stats.RegionsCommitted)
+	*e.m.Cells.RegionsCommitted++
 	e.emit(trace.RegionCommit, r.rid, 0, 0)
 	e.CommittedAt[r.rid] = e.m.K.Now()
 	if now := e.m.K.Now(); r.endedAt > 0 && now >= r.endedAt {
-		e.m.St.Hist(stats.CommitLag).Observe(now - r.endedAt)
+		e.m.Cells.CommitLag.Observe(now - r.endedAt)
 	}
 
 	// Broadcast completion to every Dependence List (§4.8), visiting
@@ -438,7 +437,7 @@ func (e *Engine) commit(r *regionState) []*regionState {
 	if len(e.regions) == 0 {
 		e.bloom.Clear()
 		e.ownerBuf = make(map[arch.LineAddr]arch.RID)
-		e.m.St.Inc(stats.BloomClears)
+		*e.m.Cells.BloomClears++
 	}
 	return unblocked
 }

@@ -30,7 +30,14 @@ const (
 // keeping distinct objects off shared cache lines (the paper notes false
 // sharing produces spurious dependences, §4.6.3).
 type Heap struct {
-	pages map[uint64][]byte
+	// Pages live in two dense per-window tables indexed by page number
+	// (both windows are bump-allocated from their base, so the index
+	// space is compact): a shift+index instead of a map probe on every
+	// read and write. Entries allocate lazily on first touch; npages
+	// counts allocated pages across both windows.
+	persistentPages [][]byte
+	volatilePages   [][]byte
+	npages          int
 
 	nextPersistent uint64
 	nextVolatile   uint64
@@ -41,7 +48,6 @@ type Heap struct {
 // New returns an empty heap.
 func New() *Heap {
 	return &Heap{
-		pages:          make(map[uint64][]byte),
 		nextPersistent: PersistentBase,
 		nextVolatile:   VolatileBase,
 		sizes:          make(map[uint64]uint64),
@@ -113,11 +119,23 @@ func (h *Heap) Free(addr uint64) {
 func (h *Heap) SizeOf(addr uint64) uint64 { return h.sizes[addr] }
 
 func (h *Heap) page(addr uint64) []byte {
-	base := addr &^ (pageSize - 1)
-	p, ok := h.pages[base]
-	if !ok {
+	var table *[][]byte
+	var idx uint64
+	if addr >= VolatileBase {
+		table, idx = &h.volatilePages, (addr-VolatileBase)/pageSize
+	} else if addr >= PersistentBase {
+		table, idx = &h.persistentPages, (addr-PersistentBase)/pageSize
+	} else {
+		panic(fmt.Sprintf("heap: access to unmapped address %#x below the persistent window", addr))
+	}
+	for idx >= uint64(len(*table)) {
+		*table = append(*table, nil)
+	}
+	p := (*table)[idx]
+	if p == nil {
 		p = make([]byte, pageSize)
-		h.pages[base] = p
+		(*table)[idx] = p
+		h.npages++
 	}
 	return p
 }
@@ -152,6 +170,13 @@ func (h *Heap) ReadLine(line arch.LineAddr) []byte {
 	return buf
 }
 
+// ReadLineInto copies the 64 B line at line's address into dst, the
+// allocation-free form of ReadLine for callers that own a line buffer
+// (pooled persist entries fill their payload in place).
+func (h *Heap) ReadLineInto(line arch.LineAddr, dst []byte) {
+	h.Read(uint64(line), dst[:arch.LineSize])
+}
+
 // WriteU64 stores a little-endian uint64 at addr.
 func (h *Heap) WriteU64(addr uint64, v uint64) {
 	var b [8]byte
@@ -169,7 +194,7 @@ func (h *Heap) ReadU64(addr uint64) uint64 {
 // String summarizes allocator state.
 func (h *Heap) String() string {
 	return fmt.Sprintf("heap{persistent %d B, volatile %d B, pages %d}",
-		h.nextPersistent-PersistentBase, h.nextVolatile-VolatileBase, len(h.pages))
+		h.nextPersistent-PersistentBase, h.nextVolatile-VolatileBase, h.npages)
 }
 
 // Reserve advances the persistent bump pointer past addr, so a heap

@@ -31,9 +31,12 @@ func DefaultConfig() Config {
 
 // Machine is the assembled hardware substrate.
 type Machine struct {
-	Cfg    Config
-	K      *sim.Kernel
-	St     *stats.Set
+	Cfg Config
+	K   *sim.Kernel
+	St  *stats.Set
+	// Cells caches St's well-known counters as stable pointers for
+	// per-event hot paths (engines, schemes, workload op counting).
+	Cells  *stats.Cells
 	Heap   *heap.Heap
 	Fabric *memdev.Fabric
 	Caches *cache.Hierarchy
@@ -60,6 +63,7 @@ func New(cfg Config) *Machine {
 		St:   stats.New(),
 		Heap: heap.New(),
 	}
+	m.Cells = m.St.Cells()
 	m.Fabric = memdev.NewFabric(m.K, m.St, cfg.Mem)
 	m.Caches = cache.NewHierarchy(m.St, m.Fabric, cfg.Cores, cfg.Caches, m.Heap.IsPersistentLine)
 	return m
@@ -137,7 +141,8 @@ func (m *Machine) Access(t *sim.Thread, addr uint64, size int, write bool, touch
 		if touched != nil {
 			touched(line)
 		}
-		total += m.Caches.AccessBlocking(t, core, line, write)
+		lat, _ := m.Caches.AccessBlocking(t, core, line, write)
+		total += lat
 	})
 	t.Advance(total)
 }

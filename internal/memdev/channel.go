@@ -19,10 +19,15 @@ type Channel struct {
 	queue         []*Entry // accepted, in FIFO drain order (droppable)
 	inflight      *Entry   // entry whose device write has issued
 	pickupPending bool     // a scheduled issue awaits its IssueDelay
-	arrivals      []*arrival
+	arrivals      []arrival
+	pool          *entryPool // fabric-wide recycler for drained/dropped entries
 
 	lh *LHWPQ
 	fi FaultInjector // consulted at ADR flush; nil = ideal ADR
+
+	// cells are the set's pre-resolved hot counters and histograms:
+	// accept/drain/drop fire per persist operation.
+	cells *stats.Cells
 
 	// pickupFn and finishFn are the drain engine's event callbacks,
 	// created once per channel: persists are the event hot loop, and
@@ -38,15 +43,17 @@ type arrival struct {
 	onAccept func(at uint64)
 }
 
-func newChannel(id int, cfg *Config, k *sim.Kernel, st *stats.Set, pm *Image) *Channel {
+func newChannel(id int, cfg *Config, k *sim.Kernel, st *stats.Set, pm *Image, pool *entryPool) *Channel {
 	c := &Channel{
-		id:  id,
-		cfg: cfg,
-		k:   k,
-		st:  st,
-		pm:  pm,
-		lh:  newLHWPQ(cfg.LHWPQEntries),
+		id:   id,
+		cfg:  cfg,
+		k:    k,
+		st:   st,
+		pm:   pm,
+		pool: pool,
+		lh:   newLHWPQ(cfg.LHWPQEntries),
 	}
+	c.cells = st.Cells()
 	c.pickupFn = func() {
 		c.pickupPending = false
 		c.startDrain()
@@ -86,15 +93,15 @@ func (c *Channel) Arrive(e *Entry, onAccept func(at uint64)) {
 		c.accept(e, onAccept)
 		return
 	}
-	c.st.Inc(stats.WPQStalls)
-	c.arrivals = append(c.arrivals, &arrival{e: e, onAccept: onAccept})
+	*c.cells.WPQStalls++
+	c.arrivals = append(c.arrivals, arrival{e: e, onAccept: onAccept})
 }
 
 func (c *Channel) accept(e *Entry, onAccept func(at uint64)) {
 	e.acceptedAt = c.k.Now()
 	c.queue = append(c.queue, e)
-	c.st.Hist(stats.WPQDepth).Observe(uint64(c.Occupancy()))
-	c.st.Hist(stats.LHWPQDepth).Observe(uint64(c.lh.Len()))
+	c.cells.WPQDepth.Observe(uint64(c.Occupancy()))
+	c.cells.LHWPQDepth.Observe(uint64(c.lh.Len()))
 	if onAccept != nil {
 		onAccept(c.k.Now())
 	}
@@ -138,8 +145,9 @@ func (c *Channel) issue(e *Entry) {
 func (c *Channel) finishDrain() {
 	e := c.inflight
 	c.pm.Write(e.Dst, e.Payload)
-	c.st.Inc(stats.PMWrites)
+	*c.cells.PMWrites++
 	c.inflight = nil
+	c.pool.put(e) // the image holds the bytes now; the entry recycles
 	c.admitWaiters()
 	c.startDrain()
 }
@@ -148,6 +156,7 @@ func (c *Channel) finishDrain() {
 func (c *Channel) admitWaiters() {
 	for len(c.arrivals) > 0 && c.HasSpace() {
 		a := c.arrivals[0]
+		c.arrivals[0] = arrival{}
 		c.arrivals = c.arrivals[1:]
 		c.accept(a.e, a.onAccept)
 	}
@@ -160,7 +169,7 @@ func (c *Channel) admitWaiters() {
 func (c *Channel) DropRegionOps(r arch.RID) int {
 	return c.dropWhere(func(e *Entry) bool {
 		return e.RID == r && (e.Kind == KindLPO || e.Kind == KindLogHeader)
-	}, stats.LPOsDropped)
+	}, c.cells.LPOsDropped)
 }
 
 // DropDPOFor removes one still-queued DPO targeting line (DPO dropping,
@@ -169,7 +178,7 @@ func (c *Channel) DropRegionOps(r arch.RID) int {
 func (c *Channel) DropDPOFor(line arch.LineAddr) bool {
 	n := c.dropWhere(func(e *Entry) bool {
 		return e.Kind == KindDPO && e.Dst == line && !e.dropped
-	}, stats.DPOsDropped)
+	}, c.cells.DPOsDropped)
 	return n > 0
 }
 
@@ -179,20 +188,21 @@ func (c *Channel) DropDPOFor(line arch.LineAddr) bool {
 func (c *Channel) SupersedeDPO(line arch.LineAddr) int {
 	return c.dropWhere(func(e *Entry) bool {
 		return e.Kind == KindDPO && e.Dst == line
-	}, stats.DPOsDropped)
+	}, c.cells.DPOsDropped)
 }
 
 // dropWhere removes matching queue-resident entries: the §5.1 dropping
 // window. Entries whose device write has issued (inflight) are no longer
 // droppable.
-func (c *Channel) dropWhere(match func(*Entry) bool, counter string) int {
+func (c *Channel) dropWhere(match func(*Entry) bool, counter *int64) int {
 	dropped := 0
 	kept := c.queue[:0]
 	for _, e := range c.queue {
 		if match(e) {
 			e.dropped = true
 			dropped++
-			c.st.Inc(counter)
+			*counter++
+			c.pool.put(e) // never reaches the device; recycle now
 			continue
 		}
 		kept = append(kept, e)

@@ -16,19 +16,32 @@ type Fabric struct {
 	st       *stats.Set
 	channels []*Channel
 	pm       *Image
+	pool     entryPool
+	cells    *stats.Cells
 }
 
 // NewFabric builds the memory system described by cfg.
 func NewFabric(k *sim.Kernel, st *stats.Set, cfg Config) *Fabric {
-	f := &Fabric{cfg: cfg, k: k, st: st, pm: NewImage()}
+	f := &Fabric{cfg: cfg, k: k, st: st, pm: NewImage(), cells: st.Cells()}
 	n := cfg.Channels()
 	if n <= 0 {
 		n = 1
 	}
 	for i := 0; i < n; i++ {
-		f.channels = append(f.channels, newChannel(i, &f.cfg, k, st, f.pm))
+		f.channels = append(f.channels, newChannel(i, &f.cfg, k, st, f.pm, &f.pool))
 	}
 	return f
+}
+
+// NewEntry returns a pooled persist entry with the given identity and a
+// 64 B Payload aliasing the entry's inline buffer. The caller must fill
+// all of Payload (SetPayload, or Heap.ReadLineInto) — a recycled buffer
+// holds a previous operation's bytes. The channel recycles the entry once
+// it drains to the device or is dropped, so callers must not retain it
+// past submission; onAccept callbacks run before either can happen and
+// may still read Payload.
+func (f *Fabric) NewEntry(kind Kind, rid arch.RID, dst, subject arch.LineAddr) *Entry {
+	return f.pool.get(kind, rid, dst, subject)
 }
 
 // Config returns the fabric's configuration.
@@ -110,16 +123,16 @@ func (f *Fabric) DropRegionOps(r arch.RID) int {
 func (f *Fabric) ReadLatency(line arch.LineAddr, persistent bool) uint64 {
 	base := f.transferTo(f.ChannelFor(line))
 	if persistent {
-		f.st.Inc(stats.PMReads)
+		*f.cells.PMReads++
 		return base + f.cfg.PMRead()
 	}
-	f.st.Inc(stats.DRAMReads)
+	*f.cells.DRAMReads++
 	return base + f.cfg.DRAMReadCycles
 }
 
 // WriteBackDRAM counts a dirty non-persistent line leaving the LLC.
 func (f *Fabric) WriteBackDRAM() {
-	f.st.Inc(stats.DRAMWrites)
+	*f.cells.DRAMWrites++
 }
 
 // FlushAll models ADR on power failure: every channel's accepted WPQ

@@ -9,7 +9,6 @@ import (
 	"asap/internal/memdev"
 	"asap/internal/obs"
 	"asap/internal/sim"
-	"asap/internal/stats"
 	"asap/internal/wal"
 )
 
@@ -129,7 +128,7 @@ func (s *ASAPRedo) Begin(t *sim.Thread) {
 	s.regions[r.rid] = r
 	ts.cur = r
 	ts.last = r
-	s.m.St.Inc(stats.RegionsBegun)
+	*s.m.Cells.RegionsBegun++
 	t.Advance(4)
 }
 
@@ -152,8 +151,8 @@ func (s *ASAPRedo) End(t *sim.Thread) {
 	r.ended = true
 	s.maybeSendMarker(r)
 	t.Advance(4)
-	s.m.St.Add(stats.RegionCycles, int64(t.Now()-ts.beginAt))
-	s.m.St.Hist(stats.RegionLatency).Observe(t.Now() - ts.beginAt)
+	*s.m.Cells.RegionCycles += int64(t.Now() - ts.beginAt)
+	s.m.Cells.RegionLatency.Observe(t.Now() - ts.beginAt)
 }
 
 // maybeSendMarker persists the commit marker once every log write has
@@ -172,10 +171,9 @@ func (s *ASAPRedo) maybeSendMarker(r *redoARegion) {
 	if r.rec == 0 {
 		s.allocRecord(nil, r)
 	}
-	hdr := wal.EncodeHeader(r.rid, firstLines(r.dirty))
-	s.m.Fabric.SubmitPersist(&memdev.Entry{
-		Kind: memdev.KindLogHeader, RID: r.rid, Dst: r.rec, Subject: r.rec, Payload: hdr,
-	}, func(uint64) {
+	hdr := s.m.Fabric.NewEntry(memdev.KindLogHeader, r.rid, r.rec, r.rec)
+	hdr.SetPayload(wal.EncodeHeader(r.rid, firstLines(r.dirty)))
+	s.m.Fabric.SubmitPersist(hdr, func(uint64) {
 		r.logDone = true
 		s.maybeCommit(r)
 	})
@@ -189,17 +187,16 @@ func (s *ASAPRedo) maybeCommit(r *redoARegion) {
 		return
 	}
 	r.committed = true
-	s.m.St.Inc(stats.RegionsCommitted)
+	*s.m.Cells.RegionsCommitted++
 
 	for _, line := range sortedLines(r.dirty) {
 		line := line
 		s.m.Fabric.SupersedeDPO(line)
 		r.pendingDPOs++
-		s.m.St.Inc(stats.DPOsIssued)
-		payload := s.m.Heap.ReadLine(line)
-		s.m.Fabric.SubmitPersist(&memdev.Entry{
-			Kind: memdev.KindDPO, RID: r.rid, Dst: line, Subject: line, Payload: payload,
-		}, func(uint64) {
+		*s.m.Cells.DPOsIssued++
+		e := s.m.Fabric.NewEntry(memdev.KindDPO, r.rid, line, line)
+		s.m.Heap.ReadLineInto(line, e.Payload)
+		s.m.Fabric.SubmitPersist(e, func(uint64) {
 			r.pendingDPOs--
 			s.m.Caches.MarkClean(line)
 			if r.pendingDPOs == 0 {
@@ -235,7 +232,7 @@ func (s *ASAPRedo) maybeCommit(r *redoARegion) {
 // region to commit.
 func (s *ASAPRedo) Fence(t *sim.Thread) {
 	ts := s.state(t)
-	s.m.St.Inc(stats.Fences)
+	*s.m.Cells.Fences++
 	last := ts.last
 	if last == nil {
 		return
@@ -262,13 +259,13 @@ func (s *ASAPRedo) DrainBarrier(t *sim.Thread) {
 func (s *ASAPRedo) Load(t *sim.Thread, addr uint64, buf []byte) {
 	ts := s.state(t)
 	machine.VisitLines(addr, len(buf), func(line arch.LineAddr) {
-		lat := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, false)
+		lat, meta := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, false)
 		if s.redirect[line] {
 			lat += s.RedirectPenalty
 		}
 		t.Advance(lat)
 		if s.m.Heap.IsPersistentLine(line) && ts.cur != nil {
-			s.captureDep(ts.cur, line, false)
+			s.captureDep(ts.cur, meta, false)
 		}
 	})
 	s.m.Heap.Read(addr, buf)
@@ -279,12 +276,12 @@ func (s *ASAPRedo) Load(t *sim.Thread, addr uint64, buf []byte) {
 func (s *ASAPRedo) Store(t *sim.Thread, addr uint64, data []byte) {
 	ts := s.state(t)
 	machine.VisitLines(addr, len(data), func(line arch.LineAddr) {
-		lat := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, true)
+		lat, meta := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, true)
 		t.Advance(lat)
 		if !s.m.Heap.IsPersistentLine(line) || ts.cur == nil {
 			return
 		}
-		s.captureDep(ts.cur, line, true)
+		s.captureDep(ts.cur, meta, true)
 		ts.cur.dirty[line] = true
 	})
 	if ts.cur != nil && s.m.Heap.IsPersistentAddr(addr) {
@@ -301,13 +298,13 @@ func (s *ASAPRedo) Store(t *sim.Thread, addr uint64, data []byte) {
 	s.m.Heap.Write(addr, data)
 }
 
-// captureDep records a data dependence through the line's OwnerRID tag.
-func (s *ASAPRedo) captureDep(r *redoARegion, line arch.LineAddr, isWrite bool) {
-	meta := s.m.Caches.Table().Get(line)
+// captureDep records a data dependence through the line's OwnerRID tag,
+// handed to it by the access that just touched the line.
+func (s *ASAPRedo) captureDep(r *redoARegion, meta *cache.Meta, isWrite bool) {
 	if owner := meta.Owner; owner != arch.NoRID && owner != r.rid {
 		if _, active := s.regions[owner]; active {
 			r.deps[owner] = struct{}{}
-			s.m.St.Inc(stats.DepEdges)
+			*s.m.Cells.DepEdges++
 		} else {
 			meta.Owner = arch.NoRID
 		}
@@ -326,11 +323,10 @@ func (s *ASAPRedo) flushLogLine(t *sim.Thread, r *redoARegion) {
 	logLine := wal.EntryLine(r.rec, r.recUsed)
 	r.recUsed++
 	r.pendingLogs++
-	s.m.St.Inc(stats.LPOsIssued)
-	payload := make([]byte, arch.LineSize)
-	s.m.Fabric.SubmitPersist(&memdev.Entry{
-		Kind: memdev.KindLPO, RID: r.rid, Dst: logLine, Subject: logLine, Payload: payload,
-	}, func(uint64) {
+	*s.m.Cells.LPOsIssued++
+	e := s.m.Fabric.NewEntry(memdev.KindLPO, r.rid, logLine, logLine)
+	e.SetPayload(nil) // packed new-value words, modeled as zeros
+	s.m.Fabric.SubmitPersist(e, func(uint64) {
 		r.pendingLogs--
 		s.maybeSendMarker(r)
 	})
@@ -339,7 +335,7 @@ func (s *ASAPRedo) flushLogLine(t *sim.Thread, r *redoARegion) {
 func (s *ASAPRedo) allocRecord(t *sim.Thread, r *redoARegion) {
 	rec, end, ok := r.ts.log.AllocRecord()
 	if !ok {
-		s.m.St.Inc(stats.LogOverflows)
+		*s.m.Cells.LogOverflows++
 		if t != nil {
 			s.prof.Enter(t, obs.LogOverflow)
 			t.Advance(2000)

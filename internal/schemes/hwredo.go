@@ -7,7 +7,6 @@ import (
 	"asap/internal/memdev"
 	"asap/internal/obs"
 	"asap/internal/sim"
-	"asap/internal/stats"
 	"asap/internal/wal"
 )
 
@@ -105,7 +104,7 @@ func (s *HWRedo) Begin(t *sim.Thread) {
 	ts.rid = arch.MakeRID(t.ID(), ts.local)
 	ts.dirty = make(map[arch.LineAddr]bool)
 	ts.words = 0
-	s.m.St.Inc(stats.RegionsBegun)
+	*s.m.Cells.RegionsBegun++
 	t.Advance(4)
 }
 
@@ -134,10 +133,9 @@ func (s *HWRedo) End(t *sim.Thread) {
 			s.allocRecord(t, ts)
 		}
 		ts.pendingLogs++
-		hdr := wal.EncodeHeader(ts.rid, firstLines(ts.dirty))
-		s.m.Fabric.SubmitPersist(&memdev.Entry{
-			Kind: memdev.KindLogHeader, RID: ts.rid, Dst: ts.rec, Subject: ts.rec, Payload: hdr,
-		}, func(uint64) { ts.pendingLogs-- })
+		hdr := s.m.Fabric.NewEntry(memdev.KindLogHeader, ts.rid, ts.rec, ts.rec)
+		hdr.SetPayload(wal.EncodeHeader(ts.rid, firstLines(ts.dirty)))
+		s.m.Fabric.SubmitPersist(hdr, func(uint64) { ts.pendingLogs-- })
 		s.prof.Enter(t, obs.FenceWait)
 		t.WaitUntil(func() bool { return ts.pendingLogs == 0 })
 		s.prof.Exit(t)
@@ -150,11 +148,10 @@ func (s *HWRedo) End(t *sim.Thread) {
 	for _, line := range sortedLines(ts.dirty) {
 		line := line
 		s.m.Fabric.SupersedeDPO(line)
-		s.m.St.Inc(stats.DPOsIssued)
-		payload := s.m.Heap.ReadLine(line)
-		s.m.Fabric.SubmitPersist(&memdev.Entry{
-			Kind: memdev.KindDPO, RID: rid, Dst: line, Subject: line, Payload: payload,
-		}, func(uint64) { s.m.Caches.MarkClean(line) })
+		*s.m.Cells.DPOsIssued++
+		e := s.m.Fabric.NewEntry(memdev.KindDPO, rid, line, line)
+		s.m.Heap.ReadLineInto(line, e.Payload)
+		s.m.Fabric.SubmitPersist(e, func(uint64) { s.m.Caches.MarkClean(line) })
 		if s.owned[line] == rid {
 			delete(s.owned, line)
 		}
@@ -163,9 +160,9 @@ func (s *HWRedo) End(t *sim.Thread) {
 	ts.log.FreeUpTo(ts.logEnd)
 	ts.rec, ts.recUsed = 0, 0
 	t.Advance(4)
-	s.m.St.Add(stats.RegionCycles, int64(t.Now()-ts.beginAt))
-	s.m.St.Hist(stats.RegionLatency).Observe(t.Now() - ts.beginAt)
-	s.m.St.Inc(stats.RegionsCommitted)
+	*s.m.Cells.RegionCycles += int64(t.Now() - ts.beginAt)
+	s.m.Cells.RegionLatency.Observe(t.Now() - ts.beginAt)
+	*s.m.Cells.RegionsCommitted++
 }
 
 func firstLines(m map[arch.LineAddr]bool) []arch.LineAddr {
@@ -177,13 +174,13 @@ func firstLines(m map[arch.LineAddr]bool) []arch.LineAddr {
 }
 
 // Fence implements machine.Scheme: commit is synchronous at End.
-func (s *HWRedo) Fence(t *sim.Thread) { s.m.St.Inc(stats.Fences) }
+func (s *HWRedo) Fence(t *sim.Thread) { *s.m.Cells.Fences++ }
 
 // Load implements machine.Scheme, charging the log-redirection penalty for
 // lines whose in-cache copy was evicted before commit (§2.3).
 func (s *HWRedo) Load(t *sim.Thread, addr uint64, buf []byte) {
 	machine.VisitLines(addr, len(buf), func(line arch.LineAddr) {
-		lat := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, false)
+		lat, _ := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, false)
 		if s.redirect[line] {
 			lat += s.RedirectPenalty
 		}
@@ -198,7 +195,7 @@ func (s *HWRedo) Load(t *sim.Thread, addr uint64, buf []byte) {
 func (s *HWRedo) Store(t *sim.Thread, addr uint64, data []byte) {
 	ts := s.state(t)
 	machine.VisitLines(addr, len(data), func(line arch.LineAddr) {
-		lat := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, true)
+		lat, _ := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, true)
 		t.Advance(lat)
 		if !s.m.Heap.IsPersistentLine(line) || ts.nest == 0 {
 			return
@@ -228,18 +225,17 @@ func (s *HWRedo) flushLogLine(t *sim.Thread, ts *redoThread) {
 	logLine := wal.EntryLine(ts.rec, ts.recUsed)
 	ts.recUsed++
 	ts.pendingLogs++
-	s.m.St.Inc(stats.LPOsIssued)
-	payload := make([]byte, arch.LineSize) // packed new-value words
-	s.m.Fabric.SubmitPersist(&memdev.Entry{
-		Kind: memdev.KindLPO, RID: ts.rid, Dst: logLine, Subject: logLine, Payload: payload,
-	}, func(uint64) { ts.pendingLogs-- })
+	*s.m.Cells.LPOsIssued++
+	e := s.m.Fabric.NewEntry(memdev.KindLPO, ts.rid, logLine, logLine)
+	e.SetPayload(nil) // packed new-value words, modeled as zeros
+	s.m.Fabric.SubmitPersist(e, func(uint64) { ts.pendingLogs-- })
 	ts.words = max(ts.words, 0)
 }
 
 func (s *HWRedo) allocRecord(t *sim.Thread, ts *redoThread) {
 	rec, end, ok := ts.log.AllocRecord()
 	if !ok {
-		s.m.St.Inc(stats.LogOverflows)
+		*s.m.Cells.LogOverflows++
 		s.prof.Enter(t, obs.LogOverflow)
 		t.Advance(2000)
 		s.prof.Exit(t)

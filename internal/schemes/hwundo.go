@@ -7,7 +7,6 @@ import (
 	"asap/internal/memdev"
 	"asap/internal/obs"
 	"asap/internal/sim"
-	"asap/internal/stats"
 	"asap/internal/wal"
 )
 
@@ -96,7 +95,7 @@ func (s *HWUndo) Begin(t *sim.Thread) {
 	ts.logged = make(map[arch.LineAddr]bool)
 	ts.dirty = make(map[arch.LineAddr]bool)
 	ts.dpoDone = make(map[arch.LineAddr]bool)
-	s.m.St.Inc(stats.RegionsBegun)
+	*s.m.Cells.RegionsBegun++
 	t.Advance(4)
 }
 
@@ -133,14 +132,14 @@ func (s *HWUndo) End(t *sim.Thread) {
 	})
 	ts.rec, ts.recUsed = 0, 0
 	t.Advance(4)
-	s.m.St.Add(stats.RegionCycles, int64(t.Now()-ts.beginAt))
-	s.m.St.Hist(stats.RegionLatency).Observe(t.Now() - ts.beginAt)
-	s.m.St.Inc(stats.RegionsCommitted)
+	*s.m.Cells.RegionCycles += int64(t.Now() - ts.beginAt)
+	s.m.Cells.RegionLatency.Observe(t.Now() - ts.beginAt)
+	*s.m.Cells.RegionsCommitted++
 }
 
 // Fence implements machine.Scheme: synchronous commit means nothing is
 // outstanding after End.
-func (s *HWUndo) Fence(t *sim.Thread) { s.m.St.Inc(stats.Fences) }
+func (s *HWUndo) Fence(t *sim.Thread) { *s.m.Cells.Fences++ }
 
 // Load implements machine.Scheme.
 func (s *HWUndo) Load(t *sim.Thread, addr uint64, buf []byte) {
@@ -153,7 +152,7 @@ func (s *HWUndo) Load(t *sim.Thread, addr uint64, buf []byte) {
 func (s *HWUndo) Store(t *sim.Thread, addr uint64, data []byte) {
 	ts := s.state(t)
 	machine.VisitLines(addr, len(data), func(line arch.LineAddr) {
-		lat := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, true)
+		lat, _ := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, true)
 		t.Advance(lat)
 		if !s.m.Heap.IsPersistentLine(line) || ts.nest == 0 {
 			return
@@ -176,14 +175,13 @@ func (s *HWUndo) issueLPO(t *sim.Thread, ts *undoThread, line arch.LineAddr) {
 	if ts.recUsed == wal.RecordEntries || ts.rec == 0 {
 		if ts.rec != 0 {
 			// Filled record: its header goes to the WPQ in the background.
-			hdr := wal.EncodeHeader(ts.rid, nil)
-			s.m.Fabric.SubmitPersist(&memdev.Entry{
-				Kind: memdev.KindLogHeader, RID: ts.rid, Dst: ts.rec, Subject: ts.rec, Payload: hdr,
-			}, nil)
+			hdr := s.m.Fabric.NewEntry(memdev.KindLogHeader, ts.rid, ts.rec, ts.rec)
+			hdr.SetPayload(wal.EncodeHeader(ts.rid, nil))
+			s.m.Fabric.SubmitPersist(hdr, nil)
 		}
 		rec, end, ok := ts.log.AllocRecord()
 		if !ok {
-			s.m.St.Inc(stats.LogOverflows)
+			*s.m.Cells.LogOverflows++
 			s.prof.Enter(t, obs.LogOverflow)
 			t.Advance(2000)
 			s.prof.Exit(t)
@@ -194,13 +192,12 @@ func (s *HWUndo) issueLPO(t *sim.Thread, ts *undoThread, line arch.LineAddr) {
 	}
 	logLine := wal.EntryLine(ts.rec, ts.recUsed)
 	ts.recUsed++
-	payload := s.m.Heap.ReadLine(line) // old value
+	e := s.m.Fabric.NewEntry(memdev.KindLPO, ts.rid, logLine, line)
+	s.m.Heap.ReadLineInto(line, e.Payload) // old value
 	ts.pendingLPOs++
 	rid := ts.rid
-	s.m.St.Inc(stats.LPOsIssued)
-	s.m.Fabric.SubmitPersist(&memdev.Entry{
-		Kind: memdev.KindLPO, RID: ts.rid, Dst: logLine, Subject: line, Payload: payload,
-	}, func(uint64) {
+	*s.m.Cells.LPOsIssued++
+	s.m.Fabric.SubmitPersist(e, func(uint64) {
 		ts.pendingLPOs--
 		// Once the LPO completes, the corresponding DPO is initiated
 		// (§2.3) — eagerly, overlapping with the rest of the region.
@@ -217,11 +214,10 @@ func (s *HWUndo) issueDPO(ts *undoThread, line arch.LineAddr) {
 	}
 	delete(ts.dirty, line)
 	ts.pendingDPOs++
-	s.m.St.Inc(stats.DPOsIssued)
-	payload := s.m.Heap.ReadLine(line)
-	s.m.Fabric.SubmitPersist(&memdev.Entry{
-		Kind: memdev.KindDPO, RID: ts.rid, Dst: line, Subject: line, Payload: payload,
-	}, func(uint64) {
+	*s.m.Cells.DPOsIssued++
+	e := s.m.Fabric.NewEntry(memdev.KindDPO, ts.rid, line, line)
+	s.m.Heap.ReadLineInto(line, e.Payload)
+	s.m.Fabric.SubmitPersist(e, func(uint64) {
 		ts.pendingDPOs--
 		ts.dpoDone[line] = true
 		s.m.Caches.MarkClean(line)

@@ -13,7 +13,6 @@ import (
 	"asap/internal/machine"
 	"asap/internal/obs"
 	"asap/internal/sim"
-	"asap/internal/stats"
 )
 
 // sortedLines returns the map's keys in address order: flush loops iterate
@@ -66,7 +65,7 @@ func (s *NP) Begin(t *sim.Thread) {
 	s.nest[t.ID()]++
 	if s.nest[t.ID()] == 1 {
 		s.beginAt[t.ID()] = t.Now()
-		s.m.St.Inc(stats.RegionsBegun)
+		*s.m.Cells.RegionsBegun++
 	}
 	t.Advance(1)
 }
@@ -76,14 +75,14 @@ func (s *NP) End(t *sim.Thread) {
 	s.nest[t.ID()]--
 	t.Advance(1)
 	if s.nest[t.ID()] == 0 {
-		s.m.St.Add(stats.RegionCycles, int64(t.Now()-s.beginAt[t.ID()]))
-		s.m.St.Hist(stats.RegionLatency).Observe(t.Now() - s.beginAt[t.ID()])
-		s.m.St.Inc(stats.RegionsCommitted)
+		*s.m.Cells.RegionCycles += int64(t.Now() - s.beginAt[t.ID()])
+		s.m.Cells.RegionLatency.Observe(t.Now() - s.beginAt[t.ID()])
+		*s.m.Cells.RegionsCommitted++
 	}
 }
 
 // Fence implements machine.Scheme: nothing to wait for.
-func (s *NP) Fence(t *sim.Thread) { s.m.St.Inc(stats.Fences) }
+func (s *NP) Fence(t *sim.Thread) { *s.m.Cells.Fences++ }
 
 // Load implements machine.Scheme.
 func (s *NP) Load(t *sim.Thread, addr uint64, buf []byte) {

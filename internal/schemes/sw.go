@@ -9,7 +9,6 @@ import (
 	"asap/internal/memdev"
 	"asap/internal/obs"
 	"asap/internal/sim"
-	"asap/internal/stats"
 	"asap/internal/wal"
 )
 
@@ -104,7 +103,7 @@ func (s *SW) Begin(t *sim.Thread) {
 	ts.local++
 	ts.logged = make(map[arch.LineAddr]arch.LineAddr)
 	ts.dirty = make(map[arch.LineAddr]bool)
-	s.m.St.Inc(stats.RegionsBegun)
+	*s.m.Cells.RegionsBegun++
 	t.Advance(s.InstrOverhead)
 }
 
@@ -122,11 +121,10 @@ func (s *SW) End(t *sim.Thread) {
 	for _, line := range sortedLines(ts.dirty) {
 		line := line
 		ts.pending++
-		s.m.St.Inc(stats.DPOsIssued)
-		payload := s.m.Heap.ReadLine(line)
-		s.m.Fabric.SubmitPersist(&memdev.Entry{
-			Kind: memdev.KindDPO, Dst: line, Subject: line, Payload: payload,
-		}, func(uint64) { ts.pending--; s.m.Caches.MarkClean(line) })
+		*s.m.Cells.DPOsIssued++
+		e := s.m.Fabric.NewEntry(memdev.KindDPO, arch.NoRID, line, line)
+		s.m.Heap.ReadLineInto(line, e.Payload)
+		s.m.Fabric.SubmitPersist(e, func(uint64) { ts.pending--; s.m.Caches.MarkClean(line) })
 		t.Advance(s.InstrOverhead)
 	}
 	s.prof.Enter(t, obs.FenceWait)
@@ -136,10 +134,9 @@ func (s *SW) End(t *sim.Thread) {
 	if !s.DPOOnly && len(ts.logged) > 0 {
 		// Persist the commit record (log truncation point) and wait.
 		ts.pending++
-		hdr := wal.EncodeHeader(arch.MakeRID(t.ID(), ts.local), keys(ts.logged))
-		s.m.Fabric.SubmitPersist(&memdev.Entry{
-			Kind: memdev.KindLogHeader, Dst: ts.rec, Subject: ts.rec, Payload: hdr,
-		}, func(uint64) { ts.pending-- })
+		hdr := s.m.Fabric.NewEntry(memdev.KindLogHeader, arch.NoRID, ts.rec, ts.rec)
+		hdr.SetPayload(wal.EncodeHeader(arch.MakeRID(t.ID(), ts.local), keys(ts.logged)))
+		s.m.Fabric.SubmitPersist(hdr, func(uint64) { ts.pending-- })
 		s.prof.Enter(t, obs.FenceWait)
 		t.WaitUntil(func() bool { return ts.pending == 0 })
 		s.prof.Exit(t)
@@ -147,9 +144,9 @@ func (s *SW) End(t *sim.Thread) {
 		ts.rec, ts.recUsed = 0, 0
 	}
 	t.Advance(s.InstrOverhead)
-	s.m.St.Add(stats.RegionCycles, int64(t.Now()-ts.beginAt))
-	s.m.St.Hist(stats.RegionLatency).Observe(t.Now() - ts.beginAt)
-	s.m.St.Inc(stats.RegionsCommitted)
+	*s.m.Cells.RegionCycles += int64(t.Now() - ts.beginAt)
+	s.m.Cells.RegionLatency.Observe(t.Now() - ts.beginAt)
+	*s.m.Cells.RegionsCommitted++
 }
 
 // keys returns at most one record's worth of logged data lines for the
@@ -167,7 +164,7 @@ func keys(m map[arch.LineAddr]arch.LineAddr) []arch.LineAddr {
 }
 
 // Fence implements machine.Scheme: SW regions are already synchronous.
-func (s *SW) Fence(t *sim.Thread) { s.m.St.Inc(stats.Fences) }
+func (s *SW) Fence(t *sim.Thread) { *s.m.Cells.Fences++ }
 
 // Load implements machine.Scheme.
 func (s *SW) Load(t *sim.Thread, addr uint64, buf []byte) {
@@ -181,7 +178,7 @@ func (s *SW) Load(t *sim.Thread, addr uint64, buf []byte) {
 func (s *SW) Store(t *sim.Thread, addr uint64, data []byte) {
 	ts := s.state(t)
 	machine.VisitLines(addr, len(data), func(line arch.LineAddr) {
-		lat := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, true)
+		lat, _ := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), line, true)
 		t.Advance(lat)
 		if !s.m.Heap.IsPersistentLine(line) || ts.nest == 0 {
 			return
@@ -205,7 +202,7 @@ func (s *SW) appendUndo(t *sim.Thread, ts *swThread, line arch.LineAddr) arch.Li
 	if ts.recUsed == wal.RecordEntries || ts.rec == 0 {
 		hdr, end, ok := ts.log.AllocRecord()
 		if !ok {
-			s.m.St.Inc(stats.LogOverflows)
+			*s.m.Cells.LogOverflows++
 			s.prof.Enter(t, obs.LogOverflow)
 			t.Advance(2000)
 			s.prof.Exit(t)
@@ -217,16 +214,15 @@ func (s *SW) appendUndo(t *sim.Thread, ts *swThread, line arch.LineAddr) arch.Li
 	logLine := wal.EntryLine(ts.rec, ts.recUsed)
 	ts.recUsed++
 
-	payload := s.m.Heap.ReadLine(line) // old value
+	e := s.m.Fabric.NewEntry(memdev.KindLPO, arch.NoRID, logLine, line)
+	s.m.Heap.ReadLineInto(line, e.Payload) // old value, read before the log store can yield
 	// The software store of the log entry goes through the cache.
-	lat := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), logLine, true)
+	lat, _ := s.m.Caches.AccessBlocking(t, s.m.CoreOf(t), logLine, true)
 	t.Advance(lat + s.InstrOverhead)
 	// clwb + mfence: wait for WPQ acceptance before continuing.
 	ts.pending++
-	s.m.St.Inc(stats.LPOsIssued)
-	s.m.Fabric.SubmitPersist(&memdev.Entry{
-		Kind: memdev.KindLPO, Dst: logLine, Subject: line, Payload: payload,
-	}, func(uint64) { ts.pending--; s.m.Caches.MarkClean(logLine) })
+	*s.m.Cells.LPOsIssued++
+	s.m.Fabric.SubmitPersist(e, func(uint64) { ts.pending--; s.m.Caches.MarkClean(logLine) })
 	s.prof.Enter(t, obs.FenceWait)
 	t.WaitUntil(func() bool { return ts.pending == 0 })
 	s.prof.Exit(t)
@@ -246,8 +242,7 @@ func evictWriteback(m *machine.Machine, info cache.EvictInfo) {
 	if !info.Dirty {
 		return
 	}
-	payload := m.Heap.ReadLine(info.Line)
-	m.Fabric.SubmitPersist(&memdev.Entry{
-		Kind: memdev.KindEvict, Dst: info.Line, Subject: info.Line, Payload: payload,
-	}, nil)
+	e := m.Fabric.NewEntry(memdev.KindEvict, arch.NoRID, info.Line, info.Line)
+	m.Heap.ReadLineInto(info.Line, e.Payload)
+	m.Fabric.SubmitPersist(e, nil)
 }

@@ -63,56 +63,87 @@ const (
 // Set is a named-counter collection. The zero value is not usable; create
 // one with New. Set is not safe for concurrent use, which is fine: the
 // simulation kernel runs one thread at a time.
+//
+// Counters are boxed so Counter can hand hot paths a stable *int64: the
+// cache hierarchy and memory fabric increment per-access counters through
+// cached pointers instead of a map probe per event.
 type Set struct {
-	counters map[string]int64
+	counters map[string]*int64
 	hists    map[string]*Histogram
+	cells    *Cells
 }
 
 // New returns an empty counter set.
 func New() *Set {
-	return &Set{counters: make(map[string]int64)}
+	return &Set{counters: make(map[string]*int64)}
+}
+
+// Counter returns a stable pointer to counter name, creating it at zero.
+// The pointer stays valid across Reset (which zeroes in place).
+func (s *Set) Counter(name string) *int64 {
+	p, ok := s.counters[name]
+	if !ok {
+		p = new(int64)
+		s.counters[name] = p
+	}
+	return p
 }
 
 // Add increments counter name by delta.
 func (s *Set) Add(name string, delta int64) {
-	s.counters[name] += delta
+	*s.Counter(name) += delta
 }
 
 // Inc increments counter name by one.
 func (s *Set) Inc(name string) { s.Add(name, 1) }
 
 // Get returns the value of counter name (zero if never touched).
-func (s *Set) Get(name string) int64 { return s.counters[name] }
+func (s *Set) Get(name string) int64 {
+	if p, ok := s.counters[name]; ok {
+		return *p
+	}
+	return 0
+}
 
-// Names returns every touched counter name in sorted order.
+// Names returns every touched counter name in sorted order. Counters that
+// were created by Counter but never incremented are omitted, so eagerly
+// cached hot-path counters do not change reported output.
 func (s *Set) Names() []string {
 	names := make([]string, 0, len(s.counters))
-	for name := range s.counters {
-		names = append(names, name)
+	for name, p := range s.counters {
+		if *p != 0 {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	return names
 }
 
-// Snapshot returns a copy of the counters map.
+// Snapshot returns a copy of the counters map (touched counters only, as
+// with Names).
 func (s *Set) Snapshot() map[string]int64 {
 	out := make(map[string]int64, len(s.counters))
 	for k, v := range s.counters {
-		out[k] = v
+		if *v != 0 {
+			out[k] = *v
+		}
 	}
 	return out
 }
 
-// Reset zeroes every counter.
+// Reset zeroes every counter in place, keeping pointers handed out by
+// Counter valid.
 func (s *Set) Reset() {
-	s.counters = make(map[string]int64)
+	for _, p := range s.counters {
+		*p = 0
+	}
 }
 
 // String formats the set one counter per line, sorted by name.
 func (s *Set) String() string {
 	var b strings.Builder
 	for _, name := range s.Names() {
-		fmt.Fprintf(&b, "%-24s %12d\n", name, s.counters[name])
+		fmt.Fprintf(&b, "%-24s %12d\n", name, *s.counters[name])
 	}
 	return b.String()
 }
@@ -122,12 +153,18 @@ func (s *Set) String() string {
 // cheap enough to run always-on and precise enough for tail-latency
 // percentiles.
 type Histogram struct {
-	buckets map[int]int64
+	buckets [histBuckets]int64
 	count   int64
+	maxIdx  int // highest occupied bucket, for bounded scans
 }
 
 // histSub is the number of sub-buckets per power-of-two octave.
 const histSub = 8
+
+// histBuckets bounds the bucket index: 64 octaves x histSub sub-buckets
+// covers every uint64 value, so Observe is a bounds-check-free array
+// increment instead of a map insert.
+const histBuckets = 64 * histSub
 
 // histIndex maps a value to its log-linear bucket.
 func histIndex(v uint64) int {
@@ -151,11 +188,12 @@ func histUpper(idx int) uint64 {
 
 // Observe records one value.
 func (h *Histogram) Observe(v uint64) {
-	if h.buckets == nil {
-		h.buckets = make(map[int]int64)
-	}
-	h.buckets[histIndex(v)]++
+	idx := histIndex(v)
+	h.buckets[idx]++
 	h.count++
+	if idx > h.maxIdx {
+		h.maxIdx = idx
+	}
 }
 
 // Count returns the number of observations.
@@ -171,19 +209,14 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	if target < 1 {
 		target = 1
 	}
-	idxs := make([]int, 0, len(h.buckets))
-	for idx := range h.buckets {
-		idxs = append(idxs, idx)
-	}
-	sort.Ints(idxs)
 	var seen int64
-	for _, idx := range idxs {
+	for idx := 0; idx <= h.maxIdx; idx++ {
 		seen += h.buckets[idx]
 		if seen >= target {
 			return histUpper(idx)
 		}
 	}
-	return histUpper(idxs[len(idxs)-1])
+	return histUpper(h.maxIdx)
 }
 
 // Hist returns the named histogram, creating it on first use.
@@ -215,3 +248,59 @@ const WPQDepth = "wpq.depth"
 // LHWPQDepth is the histogram of per-channel LH-WPQ live entries,
 // observed at every accept on that channel.
 const LHWPQDepth = "lhwpq.depth"
+
+// Cells is every well-known counter and histogram pre-resolved to its
+// stable pointer, so per-event hot paths (persist issue/drain, fences,
+// dependence checks, WPQ accepts) pay one pointer chase instead of a
+// string-keyed map probe. Pre-creating counters is output-neutral:
+// Names/Snapshot omit counters that are still zero.
+type Cells struct {
+	PMWrites, PMReads, DRAMWrites, DRAMReads              *int64
+	LPOsIssued, LPOsDropped, DPOsIssued, DPOsDropped      *int64
+	DPOsCoalesce                                          *int64
+	RegionsBegun, RegionsCommitted, RegionCycles          *int64
+	DepEdges, DepStalls, CLStalls, WPQStalls, LHWPQStalls *int64
+	LogOverflows                                          *int64
+	OwnerIDSpills, OwnerIDReloads, BloomHits, BloomClears *int64
+	Ops, Fences, FenceCycles                              *int64
+	RegionLatency, CommitLag, WPQDepth, LHWPQDepth        *Histogram
+}
+
+// Cells returns the set's pre-resolved hot-path cells, building them on
+// first use. All callers share one Cells per Set.
+func (s *Set) Cells() *Cells {
+	if s.cells == nil {
+		s.cells = &Cells{
+			PMWrites:         s.Counter(PMWrites),
+			PMReads:          s.Counter(PMReads),
+			DRAMWrites:       s.Counter(DRAMWrites),
+			DRAMReads:        s.Counter(DRAMReads),
+			LPOsIssued:       s.Counter(LPOsIssued),
+			LPOsDropped:      s.Counter(LPOsDropped),
+			DPOsIssued:       s.Counter(DPOsIssued),
+			DPOsDropped:      s.Counter(DPOsDropped),
+			DPOsCoalesce:     s.Counter(DPOsCoalesce),
+			RegionsBegun:     s.Counter(RegionsBegun),
+			RegionsCommitted: s.Counter(RegionsCommitted),
+			RegionCycles:     s.Counter(RegionCycles),
+			DepEdges:         s.Counter(DepEdges),
+			DepStalls:        s.Counter(DepStalls),
+			CLStalls:         s.Counter(CLStalls),
+			WPQStalls:        s.Counter(WPQStalls),
+			LHWPQStalls:      s.Counter(LHWPQStalls),
+			LogOverflows:     s.Counter(LogOverflows),
+			OwnerIDSpills:    s.Counter(OwnerIDSpills),
+			OwnerIDReloads:   s.Counter(OwnerIDReloads),
+			BloomHits:        s.Counter(BloomHits),
+			BloomClears:      s.Counter(BloomClears),
+			Ops:              s.Counter(Ops),
+			Fences:           s.Counter(Fences),
+			FenceCycles:      s.Counter(FenceCycles),
+			RegionLatency:    s.Hist(RegionLatency),
+			CommitLag:        s.Hist(CommitLag),
+			WPQDepth:         s.Hist(WPQDepth),
+			LHWPQDepth:       s.Hist(LHWPQDepth),
+		}
+	}
+	return s.cells
+}

@@ -264,7 +264,7 @@ func Run(env *Env, b Benchmark, cfg Config) Result {
 				}
 				for i := 0; i < cfg.OpsPerThread; i++ {
 					b.Op(wctx, i)
-					env.M.St.Inc(stats.Ops)
+					*env.M.Cells.Ops++
 					if cfg.FencePeriod > 0 && (i+1)%cfg.FencePeriod == 0 {
 						wctx.Fence()
 					}
