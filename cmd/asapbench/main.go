@@ -12,27 +12,36 @@
 // plus "profile" (cycle accounting across schemes; not part of "all" so
 // the default output stays byte-identical with observability off).
 //
-// Every experiment fans its (variant × benchmark) matrix across a worker
-// pool and assembles results in submission order, so the emitted tables
-// are byte-identical at any -parallel width. Exit status is non-zero if
-// any requested experiment fails.
+// The experiment registry and renderer live in internal/sweep, shared
+// with cmd/asapd: a sweep submitted to the daemon produces bytes
+// identical to this CLI. Every experiment fans its (variant × benchmark)
+// matrix across a worker pool and assembles results in submission order,
+// so the emitted tables are byte-identical at any -parallel width.
+//
+// SIGINT/SIGTERM stop the sweep after the runs already in flight: the
+// partial -json report is still flushed, and the exit status is 130, so
+// an interrupted overnight run keeps the timings it earned.
+//
+// Exit status is non-zero if any requested experiment fails.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"syscall"
 	"time"
 
-	"asap/internal/area"
-	"asap/internal/experiment"
-	"asap/internal/machine"
 	"asap/internal/report"
 	"asap/internal/runner"
 	"asap/internal/stats"
+	"asap/internal/sweep"
 )
 
 func main() { os.Exit(run()) }
@@ -51,6 +60,7 @@ type timingReport struct {
 	Parallel       int                `json:"parallel"`
 	GOMAXPROCS     int                `json:"gomaxprocs"`
 	Scale          string             `json:"scale"`
+	Interrupted    bool               `json:"interrupted,omitempty"`
 	WallNS         int64              `json:"wall_ns"`
 	TotalJobWallNS int64              `json:"total_job_wall_ns"`
 	Experiments    []experimentTiming `json:"experiments"`
@@ -58,7 +68,7 @@ type timingReport struct {
 }
 
 func run() int {
-	which := flag.String("experiment", "all", "fig1|fig7|fig8|fig9a|fig9b|fig10|lhwpq|area|config|ablation-coalesce|ablation-structs|corun|design|fences|lifetime|numa|profile|scaling|tail|all")
+	which := flag.String("experiment", "all", strings.Join(sweep.Names(), "|")+"|all")
 	profBench := flag.String("profile-bench", "Q", "benchmark for -experiment profile")
 	full := flag.Bool("full", false, "paper-scale runs (slower)")
 	chart := flag.Bool("chart", false, "render tables as ASCII bar charts")
@@ -68,6 +78,11 @@ func run() int {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this path")
 	flag.Parse()
+
+	if *which != "all" && !sweep.Known(*which) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
+		return 2
+	}
 
 	if *cpuProfile != "" {
 		stop, err := startCPUProfile(*cpuProfile)
@@ -85,6 +100,11 @@ func run() int {
 		}()
 	}
 
+	// An interrupt cancels the sweep context: runs already dispatched
+	// finish, nothing further starts, and the partial report survives.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
+
 	pool := runner.New(*parallel)
 	jobLog := &stats.JobLog{}
 	pool.SetMetrics(jobLog)
@@ -93,67 +113,16 @@ func run() int {
 		prog = report.NewProgress(os.Stderr)
 		pool.SetReporter(prog)
 	}
-	experiment.SetPool(pool)
 
-	scale := experiment.QuickScale()
 	scaleName := "quick"
 	if *full {
-		scale = experiment.FullScale()
 		scaleName = "full"
 	}
-	show := func(t *experiment.Table) {
-		if *chart {
-			fmt.Println(report.Render(t, report.Options{Baseline: 1}))
-			return
-		}
-		fmt.Println(t)
-	}
-
-	run := map[string]func(){
-		"fig1": func() { show(experiment.Fig1(scale)) },
-		"fig7": func() {
-			show(experiment.Fig7(scale, 64))
-			show(experiment.Fig7(scale, 2048))
-		},
-		"fig8":  func() { show(experiment.Fig8(scale, 64)) },
-		"fig9a": func() { show(experiment.Fig9a(scale)) },
-		"fig9b": func() { show(experiment.Fig9b(scale)) },
-		"fig10": func() {
-			for _, t := range experiment.Fig10(scale) {
-				show(t)
-			}
-		},
-		"lhwpq":  func() { show(experiment.Sec74(scale)) },
-		"area":   func() { fmt.Println(area.Report(area.Default())) },
-		"config": func() { printConfig() },
-		"ablation-coalesce": func() {
-			show(experiment.AblationCoalesce(scale, "Q"))
-		},
-		"ablation-structs": func() {
-			show(experiment.AblationStructures(scale, "Q"))
-		},
-		"corun": func() { show(experiment.CoRunning(scale)) },
-		// profile is intentionally not in "all": the -experiment all output
-		// is gated byte-identical with observability off.
-		"profile":  func() { fmt.Println(experiment.CycleAccounting(scale, *profBench, 64)) },
-		"design":   func() { show(experiment.DesignChoice(scale)) },
-		"fences":   func() { show(experiment.FenceSweep(scale)) },
-		"lifetime": func() { show(experiment.Lifetime(scale)) },
-		"numa":     func() { show(experiment.NUMA(scale)) },
-		"tail":     func() { show(experiment.TailLatency(scale)) },
-		"scaling":  func() { show(experiment.Scaling(scale)) },
-	}
-
-	var names []string
-	if *which == "all" {
-		names = []string{"config", "area", "fig1", "fig7", "fig8", "fig9a", "fig9b", "fig10", "lhwpq",
-			"ablation-coalesce", "ablation-structs", "corun", "design", "fences", "lifetime", "numa", "tail", "scaling"}
-	} else {
-		if _, ok := run[*which]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
-			return 2
-		}
-		names = []string{*which}
+	spec := sweep.Spec{
+		Experiments:  []string{*which},
+		Scale:        scaleName,
+		Chart:        *chart,
+		ProfileBench: *profBench,
 	}
 
 	rep := timingReport{
@@ -161,27 +130,29 @@ func run() int {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Scale:      scaleName,
 	}
-	start := time.Now()
 	failures := 0
-	for _, name := range names {
-		if *which == "all" {
-			fmt.Printf("==== %s ====\n", name)
-		}
-		wall, err := runExperiment(run[name])
-		et := experimentTiming{Name: name, WallNS: wall.Nanoseconds()}
-		if err != nil {
-			et.Error = err.Error()
-			failures++
-			fmt.Fprintf(os.Stderr, "asapbench: experiment %s failed: %v\n", name, err)
-		}
-		rep.Experiments = append(rep.Experiments, et)
-	}
+	start := time.Now()
+	results, execErr := sweep.Execute(ctx, spec, os.Stdout, sweep.Options{
+		Pool: pool,
+		OnExperiment: func(name string, wall time.Duration, err error) {
+			if err != nil {
+				failures++
+				fmt.Fprintf(os.Stderr, "asapbench: experiment %s failed: %v\n", name, err)
+			}
+		},
+	})
 	rep.WallNS = time.Since(start).Nanoseconds()
 	rep.TotalJobWallNS = jobLog.TotalWall().Nanoseconds()
 	rep.Jobs = jobLog.Snapshot()
+	for _, r := range results {
+		rep.Experiments = append(rep.Experiments, experimentTiming(r))
+	}
 	if prog != nil {
 		prog.Finish()
 	}
+
+	interrupted := ctx.Err() != nil
+	rep.Interrupted = interrupted
 
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath, rep); err != nil {
@@ -189,26 +160,30 @@ func run() int {
 			return 1
 		}
 	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "asapbench: interrupted after %d of %d experiments; partial report flushed\n",
+			len(results), len(expandedNames(spec)))
+		return 130
+	}
+	if execErr != nil {
+		fmt.Fprintf(os.Stderr, "asapbench: %v\n", execErr)
+		return 1
+	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "asapbench: %d of %d experiments failed\n", failures, len(names))
+		fmt.Fprintf(os.Stderr, "asapbench: %d of %d experiments failed\n", failures, len(results))
 		return 1
 	}
 	return 0
 }
 
-// runExperiment times one experiment, converting a panic (e.g. a
-// consistency-check failure propagated by the pool) into an error so the
-// remaining experiments still run and the process can exit non-zero.
-func runExperiment(fn func()) (wall time.Duration, err error) {
-	start := time.Now()
-	defer func() {
-		wall = time.Since(start)
-		if r := recover(); r != nil {
-			err = fmt.Errorf("%v", r)
+// expandedNames reports how many experiments the spec would run.
+func expandedNames(spec sweep.Spec) []string {
+	for _, n := range spec.Experiments {
+		if n == "all" {
+			return sweep.AllNames()
 		}
-	}()
-	fn()
-	return time.Since(start), nil
+	}
+	return spec.Experiments
 }
 
 // writeJSON writes the timing artifact with a trailing newline.
@@ -257,19 +232,4 @@ func writeHeapProfile(path string) error {
 func isTerminal(f *os.File) bool {
 	fi, err := f.Stat()
 	return err == nil && fi.Mode()&os.ModeCharDevice != 0
-}
-
-func printConfig() {
-	cfg := machine.DefaultConfig()
-	fmt.Println("Table 2: system configuration")
-	fmt.Printf("  Cores                 %d\n", cfg.Cores)
-	fmt.Printf("  L1                    %d sets x %d ways, %d cycles\n", cfg.Caches.L1.Sets, cfg.Caches.L1.Ways, cfg.Caches.L1.Latency)
-	fmt.Printf("  L2                    %d sets x %d ways, %d cycles\n", cfg.Caches.L2.Sets, cfg.Caches.L2.Ways, cfg.Caches.L2.Latency)
-	fmt.Printf("  L3                    %d sets x %d ways, %d cycles\n", cfg.Caches.L3.Sets, cfg.Caches.L3.Ways, cfg.Caches.L3.Latency)
-	fmt.Printf("  Memory controllers    %d x %d channels\n", cfg.Mem.Controllers, cfg.Mem.ChannelsPerMC)
-	fmt.Printf("  WPQ                   %d entries/channel\n", cfg.Mem.WPQEntries)
-	fmt.Printf("  LH-WPQ                %d entries/channel\n", cfg.Mem.LHWPQEntries)
-	fmt.Printf("  DRAM read/write       %d/%d cycles\n", cfg.Mem.DRAMReadCycles, cfg.Mem.DRAMWriteCycles)
-	fmt.Printf("  PM read/write         %d/%d cycles (battery-backed DRAM) x %d\n", cfg.Mem.PMReadCycles, cfg.Mem.PMWriteCycles, cfg.Mem.PMLatencyMult)
-	fmt.Println()
 }

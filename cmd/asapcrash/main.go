@@ -7,12 +7,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"asap/internal/crashtest"
 	"asap/internal/faults"
@@ -55,11 +58,18 @@ func main() {
 		}
 	}
 
+	// SIGINT/SIGTERM cancel the sweep: cases already dispatched finish,
+	// the partial report is still written, and the exit status is 130.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
+	cfg.Context = ctx
+
 	sum, err := crashtest.Sweep(cfg)
-	if err != nil {
+	if sum == nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	interrupted := err != nil
 
 	fmt.Printf("asapcrash: %d cases (seed %d)\n", sum.Total, *seed)
 	verdicts := make([]string, 0, len(sum.Counts))
@@ -102,6 +112,10 @@ func main() {
 		fmt.Println("report:", *jsonPath)
 	}
 
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "asapcrash: interrupted after %d case(s); partial report flushed\n", sum.Total)
+		os.Exit(130)
+	}
 	if bad := sum.Bad(); bad > 0 {
 		fmt.Printf("FAIL: %d violation/error case(s)\n", bad)
 		os.Exit(1)

@@ -1,0 +1,198 @@
+// Command asapd is the experiment service: a long-lived daemon that
+// accepts sweep specs over HTTP, journals them durably before
+// acknowledging, fans execution across a worker pool, and serves results
+// from a content-addressed store. Jobs run the same internal/sweep code
+// path as cmd/asapbench, so a sweep submitted here — even one the daemon
+// was kill -9ed in the middle of — completes with output byte-identical
+// to the one-shot CLI.
+//
+// Usage:
+//
+//	asapd -addr :8372 -dir /var/lib/asapd       # serve
+//	asapd -campaign 200 -seed 7                 # run the fault campaign
+//
+// Submit and fetch a sweep:
+//
+//	curl -d '{"experiments":["fig7"],"scale":"quick"}' localhost:8372/api/v1/jobs
+//	curl localhost:8372/api/v1/jobs/1
+//	curl localhost:8372/api/v1/jobs/1/result
+//
+// Crash safety: every queue transition is journaled (CRC-framed,
+// fsynced) before it is applied. Restarting after any kind of death
+// replays the journal, expires the orphaned leases, and resumes the
+// queue; completed work is never re-run and never lost. SIGINT/SIGTERM
+// drain gracefully: intake stops with 503, in-flight sweeps get
+// -drain-grace to finish, then are checkpointed back to pending
+// (uncharged) for the next start.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"asap/internal/queue"
+	"asap/internal/sweep"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", ":8372", "HTTP listen address")
+	dir := flag.String("dir", "asapd-data", "data directory (journal + artifact store)")
+	workers := flag.Int("workers", 2, "concurrent job executors")
+	lease := flag.Duration("lease", 5*time.Minute, "lease timeout before a stalled job is redelivered")
+	maxDeliveries := flag.Int("max-deliveries", 5, "deliveries before a job is dead-lettered")
+	backoffBase := flag.Duration("backoff-base", 250*time.Millisecond, "retry backoff after the first failure")
+	backoffCap := flag.Duration("backoff-cap", 30*time.Second, "retry backoff ceiling")
+	drainGrace := flag.Duration("drain-grace", time.Minute, "how long a drain waits for in-flight jobs before checkpointing them")
+	volatileFlag := flag.Bool("volatile", false, "disable the journal (no crash safety; for the fault campaign's negative control)")
+	campaign := flag.Int("campaign", 0, "run N seeded kill/restart fault-campaign cases instead of serving")
+	seed := flag.Int64("seed", 1, "fault campaign seed")
+	flag.Parse()
+
+	if *campaign > 0 {
+		return runCampaign(*campaign, *seed, *volatileFlag)
+	}
+
+	cfg := queue.Config{
+		Dir:     *dir,
+		Workers: *workers,
+		Policy: queue.Policy{
+			MaxDeliveries: *maxDeliveries,
+			LeaseTimeout:  *lease,
+			BackoffBase:   *backoffBase,
+			BackoffCap:    *backoffCap,
+		},
+		Exec:     sweepExec,
+		Validate: validateSpec,
+		Volatile: *volatileFlag,
+	}
+	d, err := queue.Open(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asapd: %v\n", err)
+		return 1
+	}
+	if d.Recovered.Jobs > 0 || d.JournalRep.TornBytes > 0 {
+		fmt.Fprintf(os.Stderr,
+			"asapd: recovered %d jobs (%d pending, %d done, %d dead, %d orphaned leases requeued; %d torn journal bytes discarded)\n",
+			d.Recovered.Jobs, d.Recovered.Pending, d.Recovered.Done, d.Recovered.Dead,
+			d.Recovered.Orphaned, d.JournalRep.TornBytes)
+	}
+	d.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asapd: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{Handler: d.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "asapd: serving on %s (data in %s, %d workers)\n",
+		ln.Addr(), *dir, *workers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "asapd: serve: %v\n", err)
+		return 1
+	}
+
+	// Graceful drain: stop intake (new submissions already 503 once the
+	// drain flag is up), give in-flight sweeps the grace period, then
+	// checkpoint whatever is still running and flush the journal.
+	fmt.Fprintf(os.Stderr, "asapd: signal received, draining (grace %s)\n", *drainGrace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	drainErr := d.Drain(drainCtx)
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	srv.Shutdown(shutCtx)
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "asapd: drain: %v\n", drainErr)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "asapd: drained cleanly")
+	return 0
+}
+
+// validateSpec gates intake: a spec that does not parse and validate as
+// a sweep never reaches the journal.
+func validateSpec(raw json.RawMessage) error {
+	var spec sweep.Spec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return fmt.Errorf("parsing sweep spec: %w", err)
+	}
+	return spec.Validate()
+}
+
+// sweepExec runs one journaled job through the same renderer the CLI
+// uses. Each finished experiment heartbeats the lease, so a long sweep
+// making real progress outlives the lease timeout while a stalled one is
+// still redelivered.
+func sweepExec(ctx context.Context, raw json.RawMessage) ([]byte, error) {
+	var spec sweep.Spec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	results, err := sweep.Execute(ctx, spec, &out, sweep.Options{
+		OnExperiment: func(string, time.Duration, error) { queue.Heartbeat(ctx) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	var failed []string
+	for _, r := range results {
+		if r.Error != "" {
+			failed = append(failed, fmt.Sprintf("%s: %s", r.Name, r.Error))
+		}
+	}
+	if len(failed) > 0 {
+		return nil, fmt.Errorf("%d experiments failed: %v", len(failed), failed)
+	}
+	return out.Bytes(), nil
+}
+
+// runCampaign executes the seeded fault campaign (asapd -campaign N) and
+// prints its summary as JSON.
+func runCampaign(cases int, seed int64, volatile bool) int {
+	sum, err := queue.RunCampaign(queue.CampaignConfig{
+		Cases:    cases,
+		Seed:     seed,
+		Volatile: volatile,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asapd: campaign: %v\n", err)
+		return 1
+	}
+	buf, _ := json.MarshalIndent(sum, "", "  ")
+	fmt.Println(string(buf))
+	if sum.Bad() {
+		fmt.Fprintf(os.Stderr, "asapd: campaign FAILED with %d audit failures\n", len(sum.Failures))
+		return 1
+	}
+	if volatile && sum.LossDetectedCases == 0 {
+		fmt.Fprintln(os.Stderr, "asapd: volatile control detected no loss; the checker is blind")
+		return 1
+	}
+	if volatile {
+		fmt.Fprintf(os.Stderr, "asapd: negative control: %d/%d cases lost jobs without the journal (expected)\n",
+			sum.LossDetectedCases, sum.Cases)
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "asapd: campaign passed: %d cases, %d daemon kills, %d worker panics, 0 lost, 0 doubled\n",
+		sum.Cases, sum.DaemonKills, sum.WorkerPanics)
+	return 0
+}

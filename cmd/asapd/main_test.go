@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"asap/internal/sweep"
+)
+
+// TestSweepExecMatchesCLIBytes is the byte-identity claim at the unit
+// level: the daemon's executor produces exactly the bytes the CLI's
+// renderer produces for the same spec, because they are the same code
+// path.
+func TestSweepExecMatchesCLIBytes(t *testing.T) {
+	raw := json.RawMessage(`{"experiments":["config","area"],"scale":"quick"}`)
+
+	got, err := sweepExec(context.Background(), raw)
+	if err != nil {
+		t.Fatalf("sweepExec: %v", err)
+	}
+
+	var spec sweep.Spec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if _, err := sweep.Execute(context.Background(), spec, &want, sweep.Options{}); err != nil {
+		t.Fatalf("sweep.Execute: %v", err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("daemon executor output (%d bytes) differs from CLI renderer (%d bytes)",
+			len(got), want.Len())
+	}
+	if len(got) == 0 {
+		t.Fatal("empty sweep output")
+	}
+}
+
+// TestSweepExecDeterministic reruns the same spec and demands identical
+// bytes — the property that makes redelivered jobs land on the same
+// content address.
+func TestSweepExecDeterministic(t *testing.T) {
+	raw := json.RawMessage(`{"experiments":["config"],"scale":"quick"}`)
+	a, err := sweepExec(context.Background(), raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sweepExec(context.Background(), raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same spec produced different bytes across runs")
+	}
+}
+
+func TestValidateSpec(t *testing.T) {
+	for _, good := range []string{
+		`{"experiments":["fig7"]}`,
+		`{"experiments":["all"],"scale":"full","parallel":4}`,
+	} {
+		if err := validateSpec(json.RawMessage(good)); err != nil {
+			t.Errorf("validateSpec(%s): %v", good, err)
+		}
+	}
+	for _, bad := range []string{
+		`{}`,
+		`{"experiments":["nope"]}`,
+		`{"experiments":["fig7"],"scale":"huge"}`,
+		`{"experiments":["fig7"],"parallel":-1}`,
+		`[1,2,3]`,
+	} {
+		if err := validateSpec(json.RawMessage(bad)); err == nil {
+			t.Errorf("validateSpec(%s): accepted", bad)
+		}
+	}
+}

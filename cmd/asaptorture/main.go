@@ -10,13 +10,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"asap/internal/faults"
 	"asap/internal/torture"
@@ -75,11 +78,18 @@ func main() {
 		cfg.Mix = m
 	}
 
+	// SIGINT/SIGTERM cancel the sweep: cases already dispatched finish,
+	// the partial report is still written, and the exit status is 130.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
+	cfg.Context = ctx
+
 	sum, err := torture.Sweep(cfg)
-	if err != nil {
+	if sum == nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	interrupted := err != nil
 
 	fmt.Printf("asaptorture: %d cases\n", sum.Total)
 	verdicts := make([]string, 0, len(sum.Counts))
@@ -130,6 +140,10 @@ func main() {
 		fmt.Println("report:", *jsonPath)
 	}
 
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "asaptorture: interrupted after %d case(s); partial report flushed\n", sum.Total)
+		os.Exit(130)
+	}
 	if bad := sum.Bad(); bad > 0 {
 		fmt.Printf("FAIL: %d bad case(s)\n", bad)
 		os.Exit(1)

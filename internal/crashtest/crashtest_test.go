@@ -1,7 +1,9 @@
 package crashtest
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 
@@ -228,5 +230,38 @@ func TestOutcomeJSONRoundTrips(t *testing.T) {
 	}
 	if back.Verdict != o.Verdict || len(back.Faults) != len(o.Faults) {
 		t.Fatalf("round trip lost data: %+v vs %+v", back, o)
+	}
+}
+
+// TestSweepCancelledReturnsPartialSummary exercises the SIGINT path:
+// a pre-cancelled context must yield a (possibly empty) partial summary
+// plus the context's error, never a nil summary.
+func TestSweepCancelledReturnsPartialSummary(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sum, err := Sweep(SweepConfig{
+		Workloads: []string{"counter"},
+		Mixes:     []faults.Mix{{}},
+		Seed:      3, Points: 4,
+		Workers: 1,
+		Context: ctx,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sum == nil {
+		t.Fatal("cancelled sweep returned nil summary")
+	}
+	if sum.Total != len(sum.Outcomes) {
+		t.Fatalf("Total %d != %d outcomes", sum.Total, len(sum.Outcomes))
+	}
+	// Only ran cases appear; skipped zero-value outcomes are filtered.
+	for _, o := range sum.Outcomes {
+		if o.Verdict == "" {
+			t.Fatal("zero-value outcome leaked into partial summary")
+		}
+	}
+	if sum.Total >= 4 {
+		t.Fatalf("cancelled sweep still ran all %d cases", sum.Total)
 	}
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"asap/internal/runner"
@@ -31,6 +32,25 @@ func SetParallelism(n int) { SetPool(runner.New(n)) }
 // Pool returns the currently installed pool.
 func Pool() *runner.Pool { return pool }
 
+// runCtx gates figure fan-out: once it is cancelled, runAll stops
+// dispatching further runs. Background by default, so figures behave
+// exactly as before unless a caller opts in via SetContext.
+var runCtx = context.Background()
+
+// SetContext installs the context consulted by every figure runner. A
+// cancelled context makes the current figure stop dispatching new runs
+// and panic with the cancellation error (callers recover it the same way
+// they recover consistency failures). nil restores the background
+// context. Not safe to call while figures run; like SetPool it is
+// package state, so callers running figures from several goroutines must
+// serialize (cmd/asapbench and internal/sweep both do).
+func SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runCtx = ctx
+}
+
 // runSpec describes one benchmark run for pooled fan-out: either a
 // standard Run invocation, or a custom closure for runs that build their
 // own machine configuration.
@@ -47,7 +67,9 @@ type runSpec struct {
 
 // runAll fans specs across the pool and returns results in spec order.
 // A panic inside any job (e.g. a consistency-check failure) is re-raised
-// here, preserving Run's serial semantics for callers.
+// here, preserving Run's serial semantics for callers. One failing run —
+// or a cancelled package context — stops the remaining dispatches
+// instead of running out the matrix.
 func runAll(figure string, specs []runSpec) []workload.Result {
 	jobs := make([]runner.Job[workload.Result], len(specs))
 	for i, s := range specs {
@@ -64,7 +86,7 @@ func runAll(figure string, specs []runSpec) []workload.Result {
 		}
 		jobs[i] = runner.Job[workload.Result]{Label: label, Run: run}
 	}
-	out, err := runner.Collect(pool, jobs)
+	out, err := runner.CollectCtx(runCtx, pool, jobs)
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,643 @@
+package queue
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"asap/internal/runner"
+)
+
+// The fault campaign is the queue's equivalent of internal/torture: a
+// seeded sweep of kill -9-shaped failures. Every case enqueues a batch
+// of deterministic jobs, then kills workers (injected panics) and the
+// daemon itself at random points, restarts from the surviving bytes,
+// and lets the queue converge. A journaled daemon dies at the storage
+// layer: the medium under the journal stops syncing mid-append, tearing
+// the in-flight record, and the daemon is abandoned with no shutdown
+// path — every later transition fails, which is a killed process's view
+// of the world. The checker then audits the journal ledger end to end:
+// no admitted job lost, no job completed twice, every artifact
+// byte-identical to a serial run of the same spec. Running the campaign
+// with the journal disabled is the negative control: the checker must
+// observe lost jobs, proving it can see the failure the journal exists
+// to prevent.
+
+// errMediumDead is what every journal operation returns once the
+// simulated process is dead.
+var errMediumDead = errors.New("queue: campaign medium is dead (simulated kill -9)")
+
+// memMedium is an in-memory journal medium with kill -9 semantics:
+// bytes become durable only at Sync, a seeded kill tears the unsynced
+// suffix mid-record, and every operation after death fails — so an
+// abandoned daemon can no longer change durable state, exactly like a
+// killed process.
+type memMedium struct {
+	mu      sync.Mutex
+	durable []byte
+	pending []byte
+	dead    bool
+	// killAfterSyncs, when > 0, arms death at the start of the Nth Sync
+	// from now: a seeded fraction of the in-flight bytes becomes durable
+	// (the torn append) and the medium dies.
+	killAfterSyncs int
+	tearFrac       float64
+}
+
+func newMemMedium(existing []byte) *memMedium {
+	return &memMedium{durable: append([]byte(nil), existing...)}
+}
+
+// arm schedules death at the start of the n-th Sync from now (n >= 1),
+// with frac of the in-flight bytes surviving as a torn tail.
+func (m *memMedium) arm(n int, frac float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.killAfterSyncs = n
+	m.tearFrac = frac
+}
+
+func (m *memMedium) Write(p []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dead {
+		return 0, errMediumDead
+	}
+	m.pending = append(m.pending, p...)
+	return len(p), nil
+}
+
+func (m *memMedium) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dead {
+		return errMediumDead
+	}
+	if m.killAfterSyncs > 0 {
+		m.killAfterSyncs--
+		if m.killAfterSyncs == 0 {
+			tear := int(float64(len(m.pending)) * m.tearFrac)
+			m.durable = append(m.durable, m.pending[:tear]...)
+			m.pending = nil
+			m.dead = true
+			return errMediumDead
+		}
+	}
+	m.durable = append(m.durable, m.pending...)
+	m.pending = nil
+	return nil
+}
+
+// disarm clears a scheduled kill that never fired — the phase ended
+// cleanly, so the close-time sync must not die.
+func (m *memMedium) disarm() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.killAfterSyncs = 0
+}
+
+// Dead reports whether the medium has died.
+func (m *memMedium) Dead() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dead
+}
+
+// Durable snapshots the surviving bytes — what a restart reads off disk.
+func (m *memMedium) Durable() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.durable...)
+}
+
+// execKill is the volatile campaign's kill trigger. With no journal
+// there is no medium to die at, so the daemon is killed at a seeded
+// executor invocation instead: the triggering call — and every call
+// after it — blocks until its context is cancelled by Kill, so the job
+// in flight at death never completes. Whatever the dead daemon's memory
+// held is gone, which is the loss the negative control must observe.
+type execKill struct {
+	mu        sync.Mutex
+	callsLeft int
+	armed     bool
+	fired     bool
+}
+
+// arm schedules the kill at the start of the n-th executor call (n >= 1).
+func (k *execKill) arm(n int) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.armed = true
+	k.callsLeft = n
+	k.fired = false
+}
+
+// disarm clears the trigger between phases.
+func (k *execKill) disarm() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.armed = false
+	k.fired = false
+}
+
+// hit is called at the start of each executor invocation; true means
+// this call belongs to a dead process and must never finish.
+func (k *execKill) hit() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if !k.armed {
+		return false
+	}
+	if k.fired {
+		return true
+	}
+	k.callsLeft--
+	if k.callsLeft <= 0 {
+		k.fired = true
+	}
+	return k.fired
+}
+
+// Fired reports whether the kill has triggered.
+func (k *execKill) Fired() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.fired
+}
+
+// campaignSpec is the deterministic job payload: Work seeds the output,
+// Spin sizes the hash chain standing in for simulation work.
+type campaignSpec struct {
+	Work int64 `json:"work"`
+	Spin int   `json:"spin"`
+}
+
+// CampaignExec is the campaign's default executor: a pure function of
+// the spec (a short hash chain), so redelivered work reproduces the same
+// artifact — the property a real sweep executor gets from the
+// bit-deterministic simulator.
+func CampaignExec(ctx context.Context, raw json.RawMessage) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var spec campaignSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256([]byte(fmt.Sprintf("asapd-campaign:%d", spec.Work)))
+	for i := 0; i < spec.Spin; i++ {
+		sum = sha256.Sum256(sum[:])
+	}
+	var out bytes.Buffer
+	fmt.Fprintf(&out, "campaign artifact work=%d spin=%d\n", spec.Work, spec.Spin)
+	fmt.Fprintf(&out, "digest %s\n", hex.EncodeToString(sum[:]))
+	return out.Bytes(), nil
+}
+
+// CampaignConfig shapes a fault campaign.
+type CampaignConfig struct {
+	// Cases is the number of seeded cases (default 200).
+	Cases int
+	// Seed derives every kill point, panic budget and tear fraction.
+	Seed int64
+	// JobsPerCase is the batch size per case (default 4).
+	JobsPerCase int
+	// DaemonWorkers sizes each case's worker pool (default 3).
+	DaemonWorkers int
+	// MaxKills bounds daemon kills per case; each case draws its count
+	// in [0, MaxKills] (default 2).
+	MaxKills int
+	// Workers parallelizes cases (0 = GOMAXPROCS).
+	Workers int
+	// Volatile disables the journal: the negative control. The checker
+	// must then observe lost jobs.
+	Volatile bool
+	// Exec overrides the executor (default CampaignExec). It must be
+	// deterministic per spec.
+	Exec Executor
+	// Dir roots the per-case artifact stores (default a temp dir,
+	// removed afterwards).
+	Dir string
+	// ConvergeTimeout bounds each case (default 30s).
+	ConvergeTimeout time.Duration
+}
+
+func (c CampaignConfig) withDefaults() CampaignConfig {
+	if c.Cases <= 0 {
+		c.Cases = 200
+	}
+	if c.JobsPerCase <= 0 {
+		c.JobsPerCase = 4
+	}
+	if c.DaemonWorkers <= 0 {
+		c.DaemonWorkers = 3
+	}
+	if c.MaxKills == 0 {
+		c.MaxKills = 2
+	} else if c.MaxKills < 0 {
+		c.MaxKills = 0
+	}
+	if c.Exec == nil {
+		c.Exec = CampaignExec
+	}
+	if c.ConvergeTimeout <= 0 {
+		c.ConvergeTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// CaseResult is one case's audit outcome.
+type CaseResult struct {
+	Case         int      `json:"case"`
+	DaemonKills  int      `json:"daemon_kills"`
+	WorkerPanics int      `json:"worker_panics"`
+	Redelivered  int64    `json:"redelivered"`
+	Lost         int      `json:"lost"`
+	Doubled      int      `json:"doubled"`
+	Mismatched   int      `json:"mismatched"`
+	Failures     []string `json:"failures,omitempty"`
+}
+
+// CampaignSummary aggregates a campaign.
+type CampaignSummary struct {
+	Cases        int   `json:"cases"`
+	DaemonKills  int   `json:"daemon_kills"`
+	WorkerPanics int   `json:"worker_panics"`
+	Redelivered  int64 `json:"redelivered"`
+	Lost         int   `json:"lost"`
+	Doubled      int   `json:"doubled"`
+	Mismatched   int   `json:"mismatched"`
+	// LossDetectedCases counts cases where the checker observed job
+	// loss: zero in journaled campaigns, necessarily positive in the
+	// volatile negative control.
+	LossDetectedCases int `json:"loss_detected_cases"`
+	// Failures lists every audit failure that is not an expected
+	// volatile-mode loss; it must be empty for a passing campaign.
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Bad reports whether the campaign failed.
+func (s *CampaignSummary) Bad() bool { return len(s.Failures) > 0 }
+
+// campaignPlan is one planned job: its spec, the serial-oracle artifact
+// it must converge on, and its injected worker-crash budget.
+type campaignPlan struct {
+	spec     json.RawMessage
+	expected []byte
+	panics   int
+}
+
+// RunCampaign executes the seeded kill/restart fault campaign and audits
+// every case. See the comment at the top of this file for the model.
+func RunCampaign(cfg CampaignConfig) (*CampaignSummary, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		dir, err := os.MkdirTemp("", "asapd-campaign-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.Dir = dir
+	}
+
+	jobs := make([]runner.Job[CaseResult], cfg.Cases)
+	for i := 0; i < cfg.Cases; i++ {
+		i := i
+		jobs[i] = runner.Job[CaseResult]{
+			Label: fmt.Sprintf("case%03d", i),
+			Run:   func() CaseResult { return runCampaignCase(cfg, i) },
+		}
+	}
+	results, err := runner.Collect(runner.New(cfg.Workers), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("queue: campaign: %w", err)
+	}
+
+	sum := &CampaignSummary{Cases: cfg.Cases}
+	for _, r := range results {
+		sum.DaemonKills += r.DaemonKills
+		sum.WorkerPanics += r.WorkerPanics
+		sum.Redelivered += r.Redelivered
+		sum.Lost += r.Lost
+		sum.Doubled += r.Doubled
+		sum.Mismatched += r.Mismatched
+		if r.Lost > 0 {
+			sum.LossDetectedCases++
+		}
+		for _, f := range r.Failures {
+			// In the volatile control, loss is the expected observation —
+			// the point is that the checker sees it. Everything else
+			// always counts.
+			if cfg.Volatile && isLossFailure(f) {
+				continue
+			}
+			sum.Failures = append(sum.Failures, f)
+		}
+	}
+	return sum, nil
+}
+
+// isLossFailure classifies the audit failures volatile mode expects.
+func isLossFailure(f string) bool { return strings.Contains(f, "lost:") }
+
+// panicBudget doles out injected worker panics: each job gets a seeded
+// number of deliveries that panic before one is allowed to succeed.
+type panicBudget struct {
+	mu      sync.Mutex
+	left    map[int64]int
+	charged int
+}
+
+func (b *panicBudget) shouldPanic(work int64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.left[work] > 0 {
+		b.left[work]--
+		b.charged++
+		return true
+	}
+	return false
+}
+
+func (b *panicBudget) total() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.charged
+}
+
+// runCampaignCase executes one seeded case end to end.
+func runCampaignCase(cfg CampaignConfig, caseIdx int) CaseResult {
+	res := CaseResult{Case: caseIdx}
+	fail := func(format string, args ...any) {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("case %d: ", caseIdx)+fmt.Sprintf(format, args...))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(caseIdx)))
+	dir := filepath.Join(cfg.Dir, fmt.Sprintf("case%03d", caseIdx))
+
+	// Deterministic batch: each spec's expected artifact comes from a
+	// serial run of the same executor — the campaign's stand-in for the
+	// one-shot CLI oracle.
+	plans := make([]campaignPlan, cfg.JobsPerCase)
+	budget := &panicBudget{left: make(map[int64]int)}
+	for i := range plans {
+		work := cfg.Seed*int64(cfg.Cases+1)*17 + int64(caseIdx*cfg.JobsPerCase+i)
+		spec, _ := json.Marshal(campaignSpec{Work: work, Spin: 1 + rng.Intn(64)})
+		expected, err := cfg.Exec(context.Background(), spec)
+		if err != nil {
+			fail("serial oracle run failed: %v", err)
+			return res
+		}
+		plans[i] = campaignPlan{spec: spec, expected: expected, panics: rng.Intn(3)}
+		budget.mu.Lock()
+		budget.left[work] = plans[i].panics
+		budget.mu.Unlock()
+	}
+	killer := &execKill{}
+	faultExec := func(ctx context.Context, raw json.RawMessage) ([]byte, error) {
+		if cfg.Volatile && killer.hit() {
+			<-ctx.Done() // a dead process finishes nothing
+			return nil, ctx.Err()
+		}
+		var spec campaignSpec
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			return nil, err
+		}
+		if budget.shouldPanic(spec.Work) {
+			panic(fmt.Sprintf("injected worker crash (work=%d)", spec.Work))
+		}
+		return cfg.Exec(ctx, raw)
+	}
+
+	pol := Policy{
+		// Generous dead-letter bound: injected panics plus orphaned-lease
+		// charges from daemon kills must never push a healthy job into
+		// the dead letter — the poison-job path has its own unit tests.
+		MaxDeliveries: 25,
+		LeaseTimeout:  2 * time.Second,
+		BackoffBase:   time.Millisecond,
+		BackoffCap:    4 * time.Millisecond,
+	}
+	mkConfig := func(m *memMedium, data []byte) Config {
+		return Config{
+			Dir:         dir,
+			Workers:     cfg.DaemonWorkers,
+			Policy:      pol,
+			Exec:        faultExec,
+			ExpireEvery: 5 * time.Millisecond,
+			SeriesEvery: -1,
+			Logf:        func(string, ...any) {},
+			Volatile:    cfg.Volatile,
+			medium:      m,
+			mediumData:  data,
+		}
+	}
+
+	kills := rng.Intn(cfg.MaxKills + 1)
+	if cfg.Volatile && cfg.MaxKills > 0 {
+		kills = 1 + rng.Intn(cfg.MaxKills) // the control must actually die
+	}
+	var durable []byte
+	admitted := make(map[uint64]int) // job ID -> plan index
+	toSubmit := 0
+	deadline := time.Now().Add(cfg.ConvergeTimeout)
+
+	var lastMedium *memMedium
+	for phase := 0; ; phase++ {
+		m := newMemMedium(durable)
+		lastMedium = m
+		d, err := Open(mkConfig(m, durable))
+		if err != nil {
+			fail("phase %d: open: %v", phase, err)
+			return res
+		}
+		if phase < kills {
+			if cfg.Volatile {
+				killer.arm(1 + rng.Intn(cfg.JobsPerCase))
+			} else {
+				// Die at a seeded upcoming journal append, tearing a seeded
+				// fraction of the in-flight record.
+				m.arm(1+rng.Intn(6), rng.Float64())
+			}
+		}
+		d.Start()
+		// Submit the not-yet-admitted jobs; a submit that hits the dead
+		// medium simply never happened (the client saw the error and will
+		// retry against the restarted daemon).
+		for ; toSubmit < len(plans); toSubmit++ {
+			id, err := d.Submit(plans[toSubmit].spec)
+			if err != nil {
+				break
+			}
+			admitted[id] = toSubmit
+		}
+		// Run until the daemon dies (killed phase) or the queue drains.
+		died := false
+		for {
+			if m.Dead() || killer.Fired() {
+				d.Kill()
+				died = true
+				break
+			}
+			if toSubmit == len(plans) && d.Q.Idle() {
+				break
+			}
+			if time.Now().After(deadline) {
+				fail("phase %d: case did not converge within %s", phase, cfg.ConvergeTimeout)
+				d.Kill()
+				return res
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if !died {
+			// Clean finish: graceful drain, then audit. A kill armed for a
+			// sync that never came must not fire at close time.
+			m.disarm()
+			drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			err := d.Drain(drainCtx)
+			cancel()
+			if err != nil {
+				fail("final drain: %v", err)
+			}
+			res.DaemonKills = phase
+			break
+		}
+		killer.disarm()
+		// What the next phase reads is the durable bytes up to the last
+		// whole record — the same truncation OpenFileJournal applies to a
+		// torn file tail.
+		durable = m.Durable()
+		if _, rep, err := Replay(durable); err == nil && rep.TornBytes > 0 {
+			durable = durable[:rep.GoodBytes]
+		}
+	}
+
+	res.WorkerPanics = budget.total()
+	auditCase(cfg, &res, fail, plans, admitted, lastMedium)
+	return res
+}
+
+// auditCase checks one converged case: ledger discipline straight off
+// the raw journal bytes, then end-state and artifact correctness from a
+// fresh replay through the real state machine.
+func auditCase(cfg CampaignConfig, res *CaseResult, fail func(string, ...any),
+	plans []campaignPlan, admitted map[uint64]int, m *memMedium) {
+
+	st, err := OpenStore(filepath.Join(cfg.Dir, fmt.Sprintf("case%03d", res.Case)))
+	if err != nil {
+		fail("audit: opening store: %v", err)
+		return
+	}
+
+	if cfg.Volatile {
+		// No journal: the queue died with the last daemon's memory. Every
+		// admitted job whose artifact never reached the store is lost.
+		for id, pi := range admitted {
+			if !st.Has(HashBytes(plans[pi].expected)) {
+				res.Lost++
+				fail("job %d lost: no durable record survives the kill", id)
+			}
+		}
+		return
+	}
+
+	recs, _, err := Replay(m.Durable())
+	if err != nil {
+		fail("audit: replay: %v", err)
+		return
+	}
+
+	// Ledger audit: at most one ack per job, every ack/fail/release
+	// matching a live lease, delivery numbering monotone.
+	acks := make(map[uint64]int)
+	liveLease := make(map[uint64]int) // id -> currently leased delivery
+	charged := make(map[uint64]int)
+	var redelivered int64
+	for i, rec := range recs {
+		switch rec.Type {
+		case RecEnqueue:
+		case RecLease:
+			if rec.Delivery != charged[rec.ID]+1 {
+				fail("record %d: lease delivery %d after %d charged", i, rec.Delivery, charged[rec.ID])
+			}
+			liveLease[rec.ID] = rec.Delivery
+			charged[rec.ID] = rec.Delivery
+			if rec.Delivery > 1 {
+				redelivered++
+			}
+		case RecAck:
+			if liveLease[rec.ID] != rec.Delivery {
+				fail("record %d: ack without live lease (job %d delivery %d)", i, rec.ID, rec.Delivery)
+			}
+			acks[rec.ID]++
+			delete(liveLease, rec.ID)
+		case RecFail:
+			if liveLease[rec.ID] != rec.Delivery {
+				fail("record %d: fail without live lease (job %d)", i, rec.ID)
+			}
+			delete(liveLease, rec.ID)
+		case RecRelease:
+			if liveLease[rec.ID] != rec.Delivery {
+				fail("record %d: release without live lease (job %d)", i, rec.ID)
+			}
+			delete(liveLease, rec.ID)
+			charged[rec.ID]-- // uncharged
+		default:
+			fail("record %d: unknown type %d", i, rec.Type)
+		}
+	}
+	res.Redelivered = redelivered
+	for id, n := range acks {
+		if n > 1 {
+			res.Doubled++
+			fail("job %d completed %d times", id, n)
+		}
+	}
+
+	// End-state audit via a fresh replay through the real state machine.
+	q, _, err := Restore(Policy{MaxDeliveries: 1 << 30}, Options{}, recs)
+	if err != nil {
+		fail("audit: restore: %v", err)
+		return
+	}
+	for id, pi := range admitted {
+		info, ok := q.Get(id)
+		if !ok {
+			res.Lost++
+			fail("job %d lost: admitted but absent from the journal", id)
+			continue
+		}
+		if info.State != StateDone {
+			res.Lost++
+			fail("job %d lost: final state %s (deliveries %d, last error %q)",
+				id, info.State, info.Deliveries, info.LastError)
+			continue
+		}
+		want := plans[pi].expected
+		if info.Hash != HashBytes(want) {
+			res.Mismatched++
+			fail("job %d artifact hash %s != serial run %s", id, info.Hash, HashBytes(want))
+			continue
+		}
+		got, err := st.Get(info.Hash)
+		if err != nil {
+			res.Mismatched++
+			fail("job %d artifact unreadable: %v", id, err)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			res.Mismatched++
+			fail("job %d artifact bytes differ from serial run", id)
+		}
+	}
+}

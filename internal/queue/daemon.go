@@ -1,0 +1,474 @@
+package queue
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"asap/internal/obs"
+)
+
+// Executor runs one job: spec in, artifact bytes out. It must honor ctx
+// (the daemon cancels it when the job's lease is revoked or a forced
+// drain begins) and must be deterministic for a given spec — artifact
+// addresses are content-derived, so redelivered work converges on the
+// same object. Panics are captured and charged as failed deliveries.
+type Executor func(ctx context.Context, spec json.RawMessage) ([]byte, error)
+
+// ErrDraining rejects intake once a drain has begun.
+var ErrDraining = errors.New("queue: daemon is draining")
+
+// Config assembles a daemon.
+type Config struct {
+	// Dir is the data directory: journal.asapq plus objects/.
+	Dir string
+	// Workers sizes the execution pool (default 2).
+	Workers int
+	// Policy shapes leases, backoff and dead-lettering.
+	Policy Policy
+	// Exec runs jobs; required.
+	Exec Executor
+	// Validate, when set, gates Submit: a spec it rejects never enters
+	// the journal.
+	Validate func(spec json.RawMessage) error
+	// ExpireEvery is the lease-expiry scan period (default
+	// LeaseTimeout/4, clamped to [10ms, 5s]).
+	ExpireEvery time.Duration
+	// SeriesEvery is the queue-depth sampling period for the obs
+	// recorder (default 250ms; 0 keeps the default, <0 disables).
+	SeriesEvery time.Duration
+	// Logf receives operational log lines (default log.Printf).
+	Logf func(format string, args ...any)
+	// Clock overrides time.Now for deterministic tests.
+	Clock func() time.Time
+	// Volatile disables the journal: the fault campaign's negative
+	// control. A volatile daemon that dies loses its queue.
+	Volatile bool
+
+	// medium/mediumData, when set, back the journal with a caller-owned
+	// medium instead of a file — the campaign's kill-injection hook.
+	medium     Medium
+	mediumData []byte
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	c.Policy = c.Policy.withDefaults()
+	if c.ExpireEvery <= 0 {
+		c.ExpireEvery = c.Policy.LeaseTimeout / 4
+		if c.ExpireEvery < 10*time.Millisecond {
+			c.ExpireEvery = 10 * time.Millisecond
+		}
+		if c.ExpireEvery > 5*time.Second {
+			c.ExpireEvery = 5 * time.Second
+		}
+	}
+	if c.SeriesEvery == 0 {
+		c.SeriesEvery = 250 * time.Millisecond
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Daemon owns the queue, the artifact store, the worker pool and the
+// lease-expiry watchdog. HTTP serving lives in server.go; cmd/asapd is a
+// thin flag-parsing shell around this type.
+type Daemon struct {
+	cfg Config
+	Q   *Queue
+	St  *Store
+	// Rec samples queue-depth gauges on wall time (milliseconds since
+	// Start), reusing the observability layer's bounded recorder.
+	Rec *obs.Recorder
+	// Recovered and Journal report what Open replayed.
+	Recovered  RecoverResult
+	JournalRep ReplayReport
+
+	start time.Time
+
+	// leaseCtx gates new leases; jobCtx is the parent of every running
+	// job's context. Drain cancels the first, then (on timeout) the
+	// second; Kill cancels both at once.
+	leaseCtx    context.Context
+	leaseCancel context.CancelFunc
+	jobCtx      context.Context
+	jobCancel   context.CancelFunc
+
+	mu       sync.Mutex
+	running  map[uint64]context.CancelFunc // live job ID -> cancel
+	draining bool
+	started  bool
+
+	wg       sync.WaitGroup
+	tickStop chan struct{}
+}
+
+// Open builds a daemon: journal replayed, orphaned leases expired,
+// store opened. Call Start to begin executing.
+func Open(cfg Config) (*Daemon, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Exec == nil {
+		return nil, errors.New("queue: Config.Exec is required")
+	}
+	var (
+		j    *Journal
+		recs []Record
+		rep  ReplayReport
+		err  error
+	)
+	if !cfg.Volatile {
+		if cfg.medium != nil {
+			j, recs, rep, err = OpenMediumJournal(cfg.medium, cfg.mediumData)
+		} else {
+			j, recs, rep, err = OpenFileJournal(filepath.Join(cfg.Dir, "journal.asapq"))
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	q, recov, err := Restore(cfg.Policy, Options{Journal: j, Clock: cfg.Clock}, recs)
+	if err != nil {
+		if j != nil {
+			j.Close()
+		}
+		return nil, err
+	}
+	st, err := OpenStore(cfg.Dir)
+	if err != nil {
+		q.Close()
+		return nil, err
+	}
+	leaseCtx, leaseCancel := context.WithCancel(context.Background())
+	jobCtx, jobCancel := context.WithCancel(context.Background())
+	d := &Daemon{
+		cfg:         cfg,
+		Q:           q,
+		St:          st,
+		start:       cfg.Clock(),
+		Recovered:   recov,
+		JournalRep:  rep,
+		leaseCtx:    leaseCtx,
+		leaseCancel: leaseCancel,
+		jobCtx:      jobCtx,
+		jobCancel:   jobCancel,
+		running:     make(map[uint64]context.CancelFunc),
+		tickStop:    make(chan struct{}),
+	}
+	if cfg.SeriesEvery > 0 {
+		d.Rec = obs.NewRecorder(uint64(cfg.SeriesEvery.Milliseconds()), 4096)
+		d.Rec.AddGauge("depth.pending", func() float64 { return float64(d.Q.Depths().Pending) })
+		d.Rec.AddGauge("depth.eligible", func() float64 { return float64(d.Q.Depths().Eligible) })
+		d.Rec.AddGauge("depth.leased", func() float64 { return float64(d.Q.Depths().Leased) })
+		d.Rec.AddGauge("depth.done", func() float64 { return float64(d.Q.Depths().Done) })
+		d.Rec.AddGauge("depth.dead", func() float64 { return float64(d.Q.Depths().Dead) })
+	}
+	return d, nil
+}
+
+// Start launches the worker pool and the expiry/series tickers.
+func (d *Daemon) Start() {
+	d.mu.Lock()
+	if d.started {
+		d.mu.Unlock()
+		return
+	}
+	d.started = true
+	d.mu.Unlock()
+	d.start = d.cfg.Clock()
+	for i := 0; i < d.cfg.Workers; i++ {
+		d.wg.Add(1)
+		go d.runWorker(fmt.Sprintf("w%d", i))
+	}
+	d.wg.Add(1)
+	go d.runTickers()
+}
+
+// runTickers drives lease expiry and (when enabled) depth sampling.
+func (d *Daemon) runTickers() {
+	defer d.wg.Done()
+	expire := time.NewTicker(d.cfg.ExpireEvery)
+	defer expire.Stop()
+	var series <-chan time.Time
+	if d.Rec != nil {
+		t := time.NewTicker(d.cfg.SeriesEvery)
+		defer t.Stop()
+		series = t.C
+	}
+	for {
+		select {
+		case <-d.tickStop:
+			return
+		case <-expire.C:
+			expired, err := d.Q.ExpireLeases()
+			if err != nil {
+				return
+			}
+			for _, ex := range expired {
+				d.cfg.Logf("asapd: lease expired: job %d delivery %d (worker %s, dead=%v)",
+					ex.ID, ex.Delivery, ex.Worker, ex.Dead)
+				d.cancelJob(ex.ID)
+			}
+		case <-series:
+			d.Rec.Tick(uint64(d.cfg.Clock().Sub(d.start).Milliseconds()))
+		}
+	}
+}
+
+// trackJob registers a running job's cancel, so lease revocation can
+// stop the executor.
+func (d *Daemon) trackJob(id uint64, cancel context.CancelFunc) {
+	d.mu.Lock()
+	d.running[id] = cancel
+	d.mu.Unlock()
+}
+
+func (d *Daemon) untrackJob(id uint64) {
+	d.mu.Lock()
+	delete(d.running, id)
+	d.mu.Unlock()
+}
+
+// cancelJob cancels the context of a running job, if any.
+func (d *Daemon) cancelJob(id uint64) {
+	d.mu.Lock()
+	cancel := d.running[id]
+	d.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// runWorker is one worker's lease-execute loop.
+func (d *Daemon) runWorker(name string) {
+	defer d.wg.Done()
+	for {
+		l := d.nextLease(name)
+		if l == nil {
+			return
+		}
+		d.execute(l)
+	}
+}
+
+// nextLease blocks until a job is leasable, the daemon stops leasing
+// (drain/kill), or the queue closes.
+func (d *Daemon) nextLease(name string) *Lease {
+	for {
+		if d.leaseCtx.Err() != nil {
+			return nil
+		}
+		l, gate, err := d.Q.TryLease(name)
+		if err != nil {
+			return nil
+		}
+		if l != nil {
+			return l
+		}
+		delay := 50 * time.Millisecond
+		if gate > 0 && gate < delay {
+			delay = gate
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-d.leaseCtx.Done():
+			timer.Stop()
+			return nil
+		case <-d.Q.Notify():
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// heartbeatKey carries the lease-extension callback into executor
+// contexts.
+type heartbeatKey struct{}
+
+// WithHeartbeat attaches a progress-heartbeat callback to ctx.
+func WithHeartbeat(ctx context.Context, fn func()) context.Context {
+	return context.WithValue(ctx, heartbeatKey{}, fn)
+}
+
+// Heartbeat invokes the context's progress heartbeat, if any. Executors
+// call it after each unit of real work; the daemon maps it to a lease
+// extension, so genuinely progressing jobs outlive the lease timeout
+// while stalled ones do not (the extension only happens when work
+// actually completes).
+func Heartbeat(ctx context.Context) {
+	if fn, ok := ctx.Value(heartbeatKey{}).(func()); ok {
+		fn()
+	}
+}
+
+// execute runs one leased job end to end: executor (panic-captured,
+// context-cancellable), artifact persist, then ack — in that order, so a
+// crash between persist and ack redelivers into an idempotent Put.
+func (d *Daemon) execute(l *Lease) {
+	ctx, cancel := context.WithCancel(d.jobCtx)
+	ctx = WithHeartbeat(ctx, func() { d.Q.Extend(l) })
+	d.trackJob(l.ID, cancel)
+	art, err := runExecutor(ctx, d.cfg.Exec, l.Spec)
+	d.untrackJob(l.ID)
+	cancel()
+
+	if err == nil {
+		hash, perr := d.St.Put(art)
+		if perr == nil {
+			switch aerr := d.Q.Ack(l, hash); {
+			case aerr == nil:
+				d.cfg.Logf("asapd: job %d done (delivery %d, %s)", l.ID, l.Delivery, hash)
+			case errors.Is(aerr, ErrLeaseLost):
+				d.cfg.Logf("asapd: job %d: late ack discarded (lease lost)", l.ID)
+			default:
+				d.cfg.Logf("asapd: job %d: ack failed: %v", l.ID, aerr)
+			}
+			return
+		}
+		err = fmt.Errorf("persisting artifact: %w", perr)
+	}
+
+	// Cancellation during drain is a checkpoint, not a failure: the job
+	// returns to pending uncharged and the restarted (or drained) daemon
+	// picks it up fresh.
+	if ctx.Err() != nil && d.isDraining() {
+		switch rerr := d.Q.Release(l); {
+		case rerr == nil:
+			d.cfg.Logf("asapd: job %d checkpointed for drain (delivery %d uncharged)", l.ID, l.Delivery)
+		case errors.Is(rerr, ErrLeaseLost):
+		default:
+			d.cfg.Logf("asapd: job %d: release failed: %v", l.ID, rerr)
+		}
+		return
+	}
+
+	dead, ferr := d.Q.Fail(l, err.Error())
+	switch {
+	case ferr == nil && dead:
+		d.cfg.Logf("asapd: job %d dead-lettered after %d deliveries: %v", l.ID, l.Delivery, err)
+	case ferr == nil:
+		d.cfg.Logf("asapd: job %d failed (delivery %d, will retry): %v", l.ID, l.Delivery, err)
+	case errors.Is(ferr, ErrLeaseLost):
+		d.cfg.Logf("asapd: job %d: late failure discarded (lease lost)", l.ID)
+	default:
+		d.cfg.Logf("asapd: job %d: recording failure failed: %v", l.ID, ferr)
+	}
+}
+
+// runExecutor invokes the executor with panic capture, so a worker that
+// panics mid-job charges a failed delivery instead of taking down the
+// daemon.
+func runExecutor(ctx context.Context, exec Executor, spec json.RawMessage) (art []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			art, err = nil, fmt.Errorf("worker panicked: %v", r)
+		}
+	}()
+	return exec(ctx, spec)
+}
+
+// Submit validates and enqueues a spec. It fails with ErrDraining once a
+// drain has begun: stop-intake is the first phase of shutdown.
+func (d *Daemon) Submit(spec json.RawMessage) (uint64, error) {
+	if d.isDraining() {
+		return 0, ErrDraining
+	}
+	if d.cfg.Validate != nil {
+		if err := d.cfg.Validate(spec); err != nil {
+			return 0, err
+		}
+	}
+	return d.Q.Enqueue(spec)
+}
+
+func (d *Daemon) isDraining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
+}
+
+// Drain shuts down gracefully: stop intake, stop granting leases, let
+// in-flight jobs finish; when ctx expires first, cancel their contexts
+// so they checkpoint (Release, uncharged) instead. The journal is
+// flushed and closed before Drain returns.
+func (d *Daemon) Drain(ctx context.Context) error {
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		return nil
+	}
+	d.draining = true
+	d.mu.Unlock()
+
+	d.cfg.Logf("asapd: draining: intake stopped, waiting for in-flight jobs")
+	d.leaseCancel()
+	close(d.tickStop)
+
+	done := make(chan struct{})
+	go func() {
+		d.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		d.cfg.Logf("asapd: drain deadline hit: checkpointing in-flight jobs")
+		d.jobCancel()
+		<-done
+	}
+	err := d.Q.Close()
+	d.cfg.Logf("asapd: drained: journal flushed and closed")
+	return err
+}
+
+// Kill emulates an abrupt death for tests and the fault campaign: no
+// checkpointing, no journal close — everything simply stops. Combined
+// with a killed journal medium, the daemon can no longer persist
+// anything, which is exactly a kill -9's view of the world.
+func (d *Daemon) Kill() {
+	d.mu.Lock()
+	already := d.draining
+	d.draining = true
+	d.mu.Unlock()
+	d.leaseCancel()
+	d.jobCancel()
+	if !already {
+		close(d.tickStop)
+	}
+	d.wg.Wait()
+}
+
+// Stats is the API-facing daemon status snapshot.
+type Stats struct {
+	Depths    Depths           `json:"depths"`
+	Counters  map[string]int64 `json:"counters"`
+	Workers   int              `json:"workers"`
+	Draining  bool             `json:"draining"`
+	Recovered RecoverResult    `json:"recovered"`
+	Journal   ReplayReport     `json:"journal"`
+	UptimeSec float64          `json:"uptime_sec"`
+}
+
+// Stats snapshots the daemon.
+func (d *Daemon) Stats() Stats {
+	return Stats{
+		Depths:    d.Q.Depths(),
+		Counters:  d.Q.Counters(),
+		Workers:   d.cfg.Workers,
+		Draining:  d.isDraining(),
+		Recovered: d.Recovered,
+		Journal:   d.JournalRep,
+		UptimeSec: d.cfg.Clock().Sub(d.start).Seconds(),
+	}
+}

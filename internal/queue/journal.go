@@ -1,0 +1,355 @@
+// Package queue is the durable work queue behind cmd/asapd: a
+// CRC-checksummed append-only journal (the same header-magic +
+// checksum-with-field-zeroed discipline as internal/wal), an in-memory
+// job state machine rebuilt from the journal on every open, lease-based
+// ack/redeliver semantics with capped exponential backoff and a
+// max-deliveries dead-letter verdict, and a content-addressed artifact
+// store. Every state transition is journaled before it is applied
+// (write-ahead), so a daemon killed at any instant — including mid-append
+// — restarts into a state the journal can prove: finished jobs stay
+// finished exactly once, leased jobs are redelivered, and a torn tail
+// record simply never happened.
+package queue
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Journal file layout:
+//
+//	file header (16 bytes):
+//	  bytes 0..7   magic "ASAPQJ1\n"
+//	  bytes 8..11  format version (little endian), currently 1
+//	  bytes 12..15 CRC-32 (IEEE) over bytes 0..11
+//
+//	record frame (repeated to EOF):
+//	  byte  0      record magic 0xA7
+//	  byte  1      record type (RecType)
+//	  bytes 2..5   payload length (little endian)
+//	  bytes 6..5+n payload (JSON-encoded Record)
+//	  last 4       CRC-32 (IEEE) over bytes 0..5+n
+//
+// Replay walks records until EOF or the first invalid frame. Broken
+// bytes at the very tail are the expected signature of a crash mid-append
+// (a torn record that never committed): they are counted, truncated, and
+// replay succeeds. The journal refuses to open only when the file header
+// itself is damaged, since then nothing downstream can be trusted.
+const (
+	fileMagic    = "ASAPQJ1\n"
+	fileVersion  = 1
+	fileHdrSize  = 16
+	recMagic     = 0xA7
+	recFrameSize = 6 // magic + type + length, before payload
+	recCRCSize   = 4
+	// maxPayload bounds one record, so a corrupt length field cannot make
+	// replay attempt a multi-gigabyte read.
+	maxPayload = 16 << 20
+)
+
+// RecType enumerates journal record kinds. The type byte lives in the
+// frame, outside the JSON payload, so replay can classify records without
+// parsing them first.
+type RecType uint8
+
+const (
+	// RecEnqueue admits a job: ID and Spec are set.
+	RecEnqueue RecType = 1
+	// RecLease charges one delivery to a worker: ID, Delivery, Worker,
+	// Deadline are set. A job whose last record is a lease is orphaned if
+	// the daemon restarts — the worker holding it is gone.
+	RecLease RecType = 2
+	// RecAck completes a job: ID, Delivery, Hash are set. At most one ack
+	// per job can ever be journaled (Ack validates the lease first).
+	RecAck RecType = 3
+	// RecFail charges a failed delivery: ID, Delivery, Reason are set,
+	// plus NotBefore (retry gate) or Final (dead-letter verdict).
+	RecFail RecType = 4
+	// RecRelease returns a leased job to pending without charging the
+	// delivery: ID, Delivery are set. Drain checkpoints use it.
+	RecRelease RecType = 5
+)
+
+func (t RecType) String() string {
+	switch t {
+	case RecEnqueue:
+		return "enqueue"
+	case RecLease:
+		return "lease"
+	case RecAck:
+		return "ack"
+	case RecFail:
+		return "fail"
+	case RecRelease:
+		return "release"
+	}
+	return fmt.Sprintf("rectype(%d)", uint8(t))
+}
+
+// Record is one journal entry. Which fields are meaningful depends on
+// Type; unused fields are omitted from the encoding.
+type Record struct {
+	Type     RecType         `json:"-"`
+	ID       uint64          `json:"id"`
+	Spec     json.RawMessage `json:"spec,omitempty"`
+	Delivery int             `json:"delivery,omitempty"`
+	Worker   string          `json:"worker,omitempty"`
+	// Deadline and NotBefore are Unix nanoseconds on the daemon's clock.
+	Deadline  int64  `json:"deadline,omitempty"`
+	NotBefore int64  `json:"not_before,omitempty"`
+	Hash      string `json:"hash,omitempty"`
+	Reason    string `json:"reason,omitempty"`
+	Final     bool   `json:"final,omitempty"`
+	// At is the wall time of the append, Unix nanoseconds; informational.
+	At int64 `json:"at,omitempty"`
+}
+
+// Medium is the byte sink a journal appends to. *os.File satisfies it;
+// the fault campaign substitutes a medium that dies at a seeded byte
+// offset to emulate kill -9 at the storage layer.
+type Medium interface {
+	io.Writer
+	Sync() error
+}
+
+// Journal errors.
+var (
+	ErrJournalClosed = errors.New("queue: journal closed")
+	ErrBadFileHeader = errors.New("queue: journal file header invalid")
+)
+
+// ReplayReport summarizes one journal open: how much history was
+// recovered and whether a torn tail was discarded.
+type ReplayReport struct {
+	Records int `json:"records"`
+	// GoodBytes is the offset of the last valid record's end.
+	GoodBytes int64 `json:"good_bytes"`
+	// TornBytes counts trailing bytes dropped as a torn append.
+	TornBytes int64 `json:"torn_bytes"`
+}
+
+// Journal is an append-only record log. Appends are serialized and
+// synced to the medium before they return, which is the write-ahead
+// guarantee every queue transition relies on.
+type Journal struct {
+	mu     sync.Mutex
+	m      Medium
+	f      *os.File // when file-backed; nil for raw-medium journals
+	off    int64
+	closed bool
+}
+
+// encodeFileHeader builds the 16-byte journal file header.
+func encodeFileHeader() []byte {
+	buf := make([]byte, fileHdrSize)
+	copy(buf, fileMagic)
+	binary.LittleEndian.PutUint32(buf[8:], fileVersion)
+	binary.LittleEndian.PutUint32(buf[12:], crc32.ChecksumIEEE(buf[:12]))
+	return buf
+}
+
+// checkFileHeader validates the journal file header.
+func checkFileHeader(b []byte) error {
+	if len(b) < fileHdrSize {
+		return fmt.Errorf("%w: %d header bytes", ErrBadFileHeader, len(b))
+	}
+	if string(b[:8]) != fileMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadFileHeader)
+	}
+	if v := binary.LittleEndian.Uint32(b[8:]); v != fileVersion {
+		return fmt.Errorf("%w: version %d", ErrBadFileHeader, v)
+	}
+	if got, want := binary.LittleEndian.Uint32(b[12:]), crc32.ChecksumIEEE(b[:12]); got != want {
+		return fmt.Errorf("%w: header checksum %08x != %08x", ErrBadFileHeader, got, want)
+	}
+	return nil
+}
+
+// encodeRecord frames one record: magic, type, length, payload, CRC.
+func encodeRecord(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("queue: encoding %s record: %w", rec.Type, err)
+	}
+	buf := make([]byte, recFrameSize+len(payload)+recCRCSize)
+	buf[0] = recMagic
+	buf[1] = byte(rec.Type)
+	binary.LittleEndian.PutUint32(buf[2:], uint32(len(payload)))
+	copy(buf[recFrameSize:], payload)
+	crc := crc32.ChecksumIEEE(buf[:recFrameSize+len(payload)])
+	binary.LittleEndian.PutUint32(buf[recFrameSize+len(payload):], crc)
+	return buf, nil
+}
+
+// Replay decodes every valid record after the file header. It stops at
+// the first invalid frame; bytes from there on count as the torn tail.
+// A damaged file header is the only fatal outcome.
+func Replay(data []byte) ([]Record, ReplayReport, error) {
+	if err := checkFileHeader(data); err != nil {
+		return nil, ReplayReport{}, err
+	}
+	var recs []Record
+	off := int64(fileHdrSize)
+	total := int64(len(data))
+	for off < total {
+		rec, end, ok := decodeRecordAt(data, off)
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+		off = end
+	}
+	return recs, ReplayReport{Records: len(recs), GoodBytes: off, TornBytes: total - off}, nil
+}
+
+// decodeRecordAt parses one frame at off; ok is false on any damage.
+func decodeRecordAt(data []byte, off int64) (Record, int64, bool) {
+	rest := data[off:]
+	if len(rest) < recFrameSize+recCRCSize || rest[0] != recMagic {
+		return Record{}, 0, false
+	}
+	n := int64(binary.LittleEndian.Uint32(rest[2:]))
+	if n > maxPayload || int64(len(rest)) < recFrameSize+n+recCRCSize {
+		return Record{}, 0, false
+	}
+	body := rest[:recFrameSize+n]
+	crc := binary.LittleEndian.Uint32(rest[recFrameSize+n:])
+	if crc != crc32.ChecksumIEEE(body) {
+		return Record{}, 0, false
+	}
+	var rec Record
+	if err := json.Unmarshal(body[recFrameSize:], &rec); err != nil {
+		return Record{}, 0, false
+	}
+	rec.Type = RecType(rest[1])
+	return rec, off + recFrameSize + n + recCRCSize, true
+}
+
+// OpenFileJournal opens (or creates) the journal at path, replays its
+// history, truncates any torn tail so the file ends on a record
+// boundary, and returns the journal positioned for append.
+func OpenFileJournal(path string) (*Journal, []Record, ReplayReport, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, ReplayReport{}, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, ReplayReport{}, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, ReplayReport{}, err
+	}
+	if len(data) == 0 {
+		hdr := encodeFileHeader()
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return nil, nil, ReplayReport{}, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, ReplayReport{}, err
+		}
+		return &Journal{m: f, f: f, off: fileHdrSize}, nil, ReplayReport{GoodBytes: fileHdrSize}, nil
+	}
+	recs, rep, err := Replay(data)
+	if err != nil {
+		f.Close()
+		return nil, nil, rep, err
+	}
+	if rep.TornBytes > 0 {
+		if err := f.Truncate(rep.GoodBytes); err != nil {
+			f.Close()
+			return nil, nil, rep, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, rep, err
+		}
+	}
+	if _, err := f.Seek(rep.GoodBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, rep, err
+	}
+	return &Journal{m: f, f: f, off: rep.GoodBytes}, recs, rep, nil
+}
+
+// OpenMediumJournal replays existing bytes (which may be empty) and
+// returns a journal appending to m. The campaign uses it with an
+// in-memory medium whose durable prefix survives simulated kills; m
+// receives a fresh file header when existing is empty, and nothing
+// otherwise (the caller's medium already holds the replayed bytes).
+func OpenMediumJournal(m Medium, existing []byte) (*Journal, []Record, ReplayReport, error) {
+	if len(existing) == 0 {
+		hdr := encodeFileHeader()
+		if _, err := m.Write(hdr); err != nil {
+			return nil, nil, ReplayReport{}, err
+		}
+		if err := m.Sync(); err != nil {
+			return nil, nil, ReplayReport{}, err
+		}
+		return &Journal{m: m, off: fileHdrSize}, nil, ReplayReport{GoodBytes: fileHdrSize}, nil
+	}
+	recs, rep, err := Replay(existing)
+	if err != nil {
+		return nil, nil, rep, err
+	}
+	return &Journal{m: m, off: rep.GoodBytes}, recs, rep, nil
+}
+
+// Append journals one record: frame, write, sync. It returns only after
+// the record is durable on the medium, or an error, in which case the
+// caller must not apply the transition (write-ahead discipline). The
+// record's At field is stamped by the caller, not here, so replay-driven
+// re-appends stay byte-deterministic under a fake clock.
+func (j *Journal) Append(rec Record) error {
+	buf, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrJournalClosed
+	}
+	if _, err := j.m.Write(buf); err != nil {
+		return fmt.Errorf("queue: journal append: %w", err)
+	}
+	if err := j.m.Sync(); err != nil {
+		return fmt.Errorf("queue: journal sync: %w", err)
+	}
+	j.off += int64(len(buf))
+	return nil
+}
+
+// Size returns the current journal size in bytes.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.off
+}
+
+// Close syncs and closes the journal. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	err := j.m.Sync()
+	if j.f != nil {
+		if cerr := j.f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

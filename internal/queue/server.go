@@ -1,0 +1,159 @@
+package queue
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /api/v1/jobs            submit a spec (body = spec JSON) -> {id}
+//	GET  /api/v1/jobs            list jobs
+//	GET  /api/v1/jobs/{id}       one job's status
+//	GET  /api/v1/jobs/{id}/result the job's artifact bytes (404 until done)
+//	GET  /api/v1/artifacts/{hash} artifact by content address
+//	GET  /api/v1/stats           depth gauges, counters, recovery report
+//	GET  /api/v1/series          queue-depth time series (CSV)
+//	GET  /healthz                liveness
+//
+// Submissions are rejected with 503 once a drain has begun, and with 400
+// when the configured validator refuses the spec — invalid work never
+// reaches the journal.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", d.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", d.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", d.handleJob)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", d.handleJobResult)
+	mux.HandleFunc("GET /api/v1/artifacts/{hash}", d.handleArtifact)
+	mux.HandleFunc("GET /api/v1/stats", d.handleStats)
+	mux.HandleFunc("GET /api/v1/series", d.handleSeries)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// maxSpecBytes bounds one submitted spec.
+const maxSpecBytes = 1 << 20
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, errors.New("spec exceeds 1 MiB"))
+		return
+	}
+	if !json.Valid(body) {
+		writeError(w, http.StatusBadRequest, errors.New("spec is not valid JSON"))
+		return
+	}
+	id, err := d.Submit(json.RawMessage(body))
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":     id,
+		"state":  StatePending,
+		"status": fmt.Sprintf("/api/v1/jobs/%d", id),
+	})
+}
+
+func (d *Daemon) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.Q.List())
+}
+
+func (d *Daemon) jobFromPath(w http.ResponseWriter, r *http.Request) (JobInfo, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errors.New("job id must be an integer"))
+		return JobInfo{}, false
+	}
+	info, ok := d.Q.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
+		return JobInfo{}, false
+	}
+	return info, true
+}
+
+func (d *Daemon) handleJob(w http.ResponseWriter, r *http.Request) {
+	info, ok := d.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (d *Daemon) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	info, ok := d.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	if info.State != StateDone {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("job %d is %s, no result yet", info.ID, info.State))
+		return
+	}
+	d.serveArtifact(w, r, info.Hash)
+}
+
+func (d *Daemon) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	d.serveArtifact(w, r, r.PathValue("hash"))
+}
+
+func (d *Daemon) serveArtifact(w http.ResponseWriter, r *http.Request, hash string) {
+	path, err := d.St.Path(hash)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !d.St.Has(hash) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no artifact %s", hash))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Content-Address", hash)
+	http.ServeFile(w, r, path)
+}
+
+func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.Stats())
+}
+
+func (d *Daemon) handleSeries(w http.ResponseWriter, r *http.Request) {
+	if d.Rec == nil {
+		writeError(w, http.StatusNotFound, errors.New("series recording disabled"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	d.Rec.WriteCSV(w)
+}

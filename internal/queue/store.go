@@ -1,0 +1,118 @@
+package queue
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is a content-addressed artifact store: objects live at
+// objects/<aa>/<rest-of-sha256>, written via temp-file + rename so a
+// crash can never leave a half-written object under its final name.
+// Puts are idempotent — re-running a redelivered job that produced the
+// same bytes lands on the same address, which is what makes at-least-once
+// execution look exactly-once to every reader.
+type Store struct {
+	dir string
+}
+
+// ErrBadHash rejects malformed or path-escaping artifact addresses.
+var ErrBadHash = errors.New("queue: malformed artifact hash")
+
+// OpenStore creates (if needed) and opens the object store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// HashBytes returns the store address of b: "sha256-" + hex digest.
+func HashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return "sha256-" + hex.EncodeToString(sum[:])
+}
+
+// parseHash validates an address and returns its hex digest.
+func parseHash(hash string) (string, error) {
+	hexpart, ok := strings.CutPrefix(hash, "sha256-")
+	if !ok || len(hexpart) != 64 {
+		return "", fmt.Errorf("%w: %q", ErrBadHash, hash)
+	}
+	if _, err := hex.DecodeString(hexpart); err != nil {
+		return "", fmt.Errorf("%w: %q", ErrBadHash, hash)
+	}
+	return hexpart, nil
+}
+
+// objectPath maps a validated digest to its on-disk path.
+func (s *Store) objectPath(hexpart string) string {
+	return filepath.Join(s.dir, "objects", hexpart[:2], hexpart[2:])
+}
+
+// Put stores b and returns its address. Existing objects are trusted by
+// name (content addressing makes overwrites pointless) and the write is
+// durable — fsynced before rename — when Put returns.
+func (s *Store) Put(b []byte) (string, error) {
+	hash := HashBytes(b)
+	hexpart, _ := parseHash(hash)
+	final := s.objectPath(hexpart)
+	if _, err := os.Stat(final); err == nil {
+		return hash, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return "", err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(final), ".tmp-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", err
+	}
+	return hash, nil
+}
+
+// Get returns the object at hash.
+func (s *Store) Get(hash string) ([]byte, error) {
+	hexpart, err := parseHash(hash)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(s.objectPath(hexpart))
+}
+
+// Has reports whether the object exists.
+func (s *Store) Has(hash string) bool {
+	hexpart, err := parseHash(hash)
+	if err != nil {
+		return false
+	}
+	_, serr := os.Stat(s.objectPath(hexpart))
+	return serr == nil
+}
+
+// Path returns the validated on-disk path for hash (for http.ServeFile).
+func (s *Store) Path(hash string) (string, error) {
+	hexpart, err := parseHash(hash)
+	if err != nil {
+		return "", err
+	}
+	return s.objectPath(hexpart), nil
+}

@@ -1,0 +1,105 @@
+package queue
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+)
+
+func TestStorePutGetIdempotent(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte("artifact bytes\n")
+	h1, err := st.Put(body)
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if h1 != HashBytes(body) {
+		t.Fatalf("hash %s != HashBytes %s", h1, HashBytes(body))
+	}
+	// The redelivered-job case: a second Put of the same bytes lands on
+	// the same address without error.
+	h2, err := st.Put(body)
+	if err != nil || h2 != h1 {
+		t.Fatalf("second put: %s, %v", h2, err)
+	}
+	got, err := st.Get(h1)
+	if err != nil || !bytes.Equal(got, body) {
+		t.Fatalf("get: %q, %v", got, err)
+	}
+	if !st.Has(h1) {
+		t.Fatal("Has = false for stored object")
+	}
+	if st.Has(HashBytes([]byte("absent"))) {
+		t.Fatal("Has = true for absent object")
+	}
+}
+
+func TestStoreRejectsMalformedHashes(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []string{
+		"",
+		"md5-abcd",
+		"sha256-short",
+		"sha256-../../../../etc/passwd0000000000000000000000000000000000000000",
+		"sha256-zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz",
+	} {
+		if _, err := st.Get(h); !errors.Is(err, ErrBadHash) {
+			t.Errorf("Get(%q): %v, want ErrBadHash", h, err)
+		}
+		if _, err := st.Path(h); !errors.Is(err, ErrBadHash) {
+			t.Errorf("Path(%q): %v, want ErrBadHash", h, err)
+		}
+		if st.Has(h) {
+			t.Errorf("Has(%q) = true", h)
+		}
+	}
+}
+
+func TestStoreNoTempLitterAfterPut(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	var litter []string
+	err = walkFiles(dir, func(path string, name string) {
+		if len(name) >= 5 && name[:5] == ".tmp-" {
+			litter = append(litter, path)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(litter) != 0 {
+		t.Fatalf("temp files left behind: %v", litter)
+	}
+}
+
+// walkFiles visits every regular file under dir.
+func walkFiles(dir string, visit func(path, name string)) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		p := dir + string(os.PathSeparator) + e.Name()
+		if e.IsDir() {
+			if err := walkFiles(p, visit); err != nil {
+				return err
+			}
+			continue
+		}
+		visit(p, e.Name())
+	}
+	return nil
+}

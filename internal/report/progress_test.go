@@ -1,7 +1,9 @@
 package report
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -39,5 +41,41 @@ func TestProgressFinishWithoutJobsIsSilent(t *testing.T) {
 	p.Finish()
 	if b.Len() != 0 {
 		t.Fatalf("idle Finish wrote %q", b.String())
+	}
+}
+
+// TestProgressConcurrentStartDone hammers one Progress from many
+// goroutines, the way a runner pool and asapbench's figure loop overlap:
+// batches Start mid-flight while workers Done concurrently. The final
+// line must account for every job exactly once and every failure.
+func TestProgressConcurrentStartDone(t *testing.T) {
+	const workers, jobs = 8, 50
+	var b strings.Builder
+	p := NewProgress(&b)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < jobs; j++ {
+				p.Start(1)
+				ok := j%5 != 0
+				p.Done(fmt.Sprintf("w%d/j%d", w, j), time.Duration(j)*time.Microsecond, ok)
+			}
+		}()
+	}
+	wg.Wait()
+	p.Finish()
+	out := b.String()
+	total := workers * jobs
+	if want := fmt.Sprintf("[%d/%d]", total, total); !strings.Contains(out, want) {
+		t.Fatalf("final line lost jobs: want %s in tail %q", want, out[max(0, len(out)-120):])
+	}
+	if want := fmt.Sprintf("failed %d", workers*(jobs/5)); !strings.Contains(out, want) {
+		t.Fatalf("failure tally wrong: want %q in tail %q", want, out[max(0, len(out)-120):])
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("Finish must terminate the line")
 	}
 }

@@ -1,0 +1,169 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"asap/internal/stats"
+)
+
+// TestCollectCtxStopsAfterFirstFailure: with a one-worker pool (serial,
+// submission order), a panic in job k must prevent every later job from
+// running; skipped indices hold the zero value, and the batch error is
+// the failing job's PanicError.
+func TestCollectCtxStopsAfterFirstFailure(t *testing.T) {
+	const n, boom = 16, 5
+	var ran atomic.Int32
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Label: fmt.Sprintf("j%d", i),
+			Run: func() int {
+				ran.Add(1)
+				if i == boom {
+					panic("boom")
+				}
+				return i + 1
+			},
+		}
+	}
+	out, err := CollectCtx(context.Background(), New(1), jobs)
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Label != fmt.Sprintf("j%d", boom) {
+		t.Fatalf("want PanicError for j%d, got %v", boom, err)
+	}
+	if got := int(ran.Load()); got != boom+1 {
+		t.Fatalf("jobs run after failure: ran %d want %d", got, boom+1)
+	}
+	for i := boom; i < n; i++ {
+		if out[i] != 0 {
+			t.Fatalf("skipped/failed index %d holds %d, want zero", i, out[i])
+		}
+	}
+}
+
+// TestCollectCtxCancelStopsDispatch: cancelling the context between jobs
+// must stop dispatch and surface ctx.Err() as the batch error.
+func TestCollectCtxCancelStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 12
+	var ran atomic.Int32
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Label: fmt.Sprintf("j%d", i),
+			Run: func() int {
+				ran.Add(1)
+				if i == 2 {
+					cancel()
+				}
+				return i
+			},
+		}
+	}
+	_, err := CollectCtx(ctx, New(1), jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := int(ran.Load()); got != 3 {
+		t.Fatalf("jobs run after cancel: ran %d want 3", got)
+	}
+}
+
+// TestCollectCtxNilErrorWhenClean: an uncancelled context and clean jobs
+// behave exactly like Collect.
+func TestCollectCtxNilErrorWhenClean(t *testing.T) {
+	jobs := []Job[int]{
+		{Label: "a", Run: func() int { return 1 }},
+		{Label: "b", Run: func() int { return 2 }},
+	}
+	out, err := CollectCtx(context.Background(), New(2), jobs)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if out[0] != 1 || out[1] != 2 {
+		t.Fatalf("wrong results: %v", out)
+	}
+}
+
+// wrappedStall stands in for *sim.StallError: a concrete error type a
+// job panics with, which callers must recover through the PanicError
+// wrapper by errors.As even when the batch was cut short.
+type wrappedStall struct{ kind string }
+
+func (e *wrappedStall) Error() string { return "stall: " + e.kind }
+
+// TestPanicErrorUnwrapThroughCollectCtx: the unwrap chain
+// CollectCtx error -> *PanicError -> panic value must survive the
+// cancellation path, so a daemon worker draining mid-sweep can still
+// errors.As its way to the structured stall diagnosis.
+func TestPanicErrorUnwrapThroughCollectCtx(t *testing.T) {
+	stall := &wrappedStall{kind: "lock-wait"}
+	jobs := []Job[int]{
+		{Label: "pre", Run: func() int { return 0 }},
+		{Label: "stall", Run: func() int { panic(stall) }},
+		{Label: "post", Run: func() int { t.Error("post ran after failure"); return 0 }},
+	}
+	_, err := CollectCtx(context.Background(), New(1), jobs)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("no PanicError in chain: %v", err)
+	}
+	var ws *wrappedStall
+	if !errors.As(err, &ws) || ws != stall {
+		t.Fatalf("unwrap chain lost the stall value: %v", err)
+	}
+	if !errors.Is(err, stall) {
+		t.Fatalf("errors.Is lost the stall value: %v", err)
+	}
+}
+
+// TestCollectCtxMetricsOnlyForRanJobs: skipped jobs must not appear in
+// the metrics log — a partial batch's job log reflects work actually
+// done, which is what a flushed partial report records.
+func TestCollectCtxMetricsOnlyForRanJobs(t *testing.T) {
+	p := New(1)
+	log := &stats.JobLog{}
+	p.SetMetrics(log)
+	jobs := []Job[int]{
+		{Label: "ok", Run: func() int { return 1 }},
+		{Label: "bad", Run: func() int { panic("x") }},
+		{Label: "never", Run: func() int { return 3 }},
+	}
+	if _, err := CollectCtx(context.Background(), p, jobs); err == nil {
+		t.Fatal("want error")
+	}
+	snap := log.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("metrics for %d jobs, want 2 (ok+bad): %+v", len(snap), snap)
+	}
+	if snap[0].Label != "ok" || snap[1].Label != "bad" {
+		t.Fatalf("wrong labels: %+v", snap)
+	}
+}
+
+// TestCollectCtxSkippedReporter: the reporter must only see jobs that
+// ran, so progress lines stay truthful for cut-short batches.
+func TestCollectCtxSkippedReporter(t *testing.T) {
+	p := New(1)
+	rep := &countingReporter{}
+	p.SetReporter(rep)
+	jobs := []Job[int]{
+		{Label: "a", Run: func() int { return 1 }},
+		{Label: "bad", Run: func() int { panic("x") }},
+		{Label: "skipped", Run: func() int { return 3 }},
+	}
+	_, _ = CollectCtx(context.Background(), p, jobs)
+	if rep.started != 3 {
+		t.Fatalf("Start saw %d, want 3", rep.started)
+	}
+	if rep.done != 2 {
+		t.Fatalf("Done saw %d jobs, want 2", rep.done)
+	}
+}

@@ -9,9 +9,11 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"asap/internal/stats"
@@ -93,6 +95,12 @@ func (p *Pool) SetReporter(r Reporter) { p.reporter = r }
 // job, appended in submission order after each batch completes.
 func (p *Pool) SetMetrics(l *stats.JobLog) { p.metrics = l }
 
+// ErrSkipped marks jobs that were never dispatched because the batch was
+// cut short — the context was cancelled, or an earlier job failed under
+// CollectCtx. It is the per-index error, not the batch error; the batch
+// error is the cancellation cause or the earliest real failure.
+var ErrSkipped = fmt.Errorf("runner: job skipped (batch cut short)")
+
 // Collect runs every job on p's workers and returns their results
 // indexed by submission order. A panicking job is captured as a
 // *PanicError; the remaining jobs still run, and the error returned is
@@ -100,10 +108,28 @@ func (p *Pool) SetMetrics(l *stats.JobLog) { p.metrics = l }
 // as deterministic as the results. Results at failed indices are the
 // zero value of R.
 func Collect[R any](p *Pool, jobs []Job[R]) ([]R, error) {
+	return collect(context.Background(), p, jobs, false)
+}
+
+// CollectCtx is Collect with a kill switch: once ctx is cancelled or any
+// job fails, no further jobs are dispatched. Jobs already running finish
+// (simulation runs are not preemptible; closures that honor ctx stop
+// sooner), their results land at their indices, and skipped indices hold
+// the zero value of R. The returned error is the earliest-submitted
+// failing job's error if any job failed, else ctx.Err() if the batch was
+// cut short by cancellation, else nil. Drain paths and signal handlers
+// use this so one failure or an interrupt stops a sweep instead of
+// running the rest of the matrix.
+func CollectCtx[R any](ctx context.Context, p *Pool, jobs []Job[R]) ([]R, error) {
+	return collect(ctx, p, jobs, true)
+}
+
+func collect[R any](ctx context.Context, p *Pool, jobs []Job[R], cut bool) ([]R, error) {
 	n := len(jobs)
 	results := make([]R, n)
 	walls := make([]time.Duration, n)
 	errs := make([]error, n)
+	ran := make([]bool, n)
 
 	if p.reporter != nil {
 		p.reporter.Start(n)
@@ -113,6 +139,7 @@ func Collect[R any](p *Pool, jobs []Job[R]) ([]R, error) {
 	if workers > n {
 		workers = n
 	}
+	var failed atomic.Bool
 	var repMu sync.Mutex
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -121,9 +148,17 @@ func Collect[R any](p *Pool, jobs []Job[R]) ([]R, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if cut && (failed.Load() || ctx.Err() != nil) {
+					errs[i] = ErrSkipped
+					continue
+				}
 				start := time.Now()
 				errs[i] = runOne(&results[i], jobs[i])
 				walls[i] = time.Since(start)
+				ran[i] = true
+				if errs[i] != nil {
+					failed.Store(true)
+				}
 				if p.reporter != nil {
 					repMu.Lock()
 					p.reporter.Done(jobs[i].Label, walls[i], errs[i] == nil)
@@ -140,11 +175,18 @@ func Collect[R any](p *Pool, jobs []Job[R]) ([]R, error) {
 
 	if p.metrics != nil {
 		for i := range jobs {
-			p.metrics.Record(jobMetrics(jobs[i].Label, walls[i], results[i]))
+			if ran[i] {
+				p.metrics.Record(jobMetrics(jobs[i].Label, walls[i], results[i]))
+			}
 		}
 	}
 	for _, err := range errs {
-		if err != nil {
+		if err != nil && err != ErrSkipped {
+			return results, err
+		}
+	}
+	if cut {
+		if err := ctx.Err(); err != nil {
 			return results, err
 		}
 	}

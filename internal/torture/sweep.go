@@ -1,6 +1,7 @@
 package torture
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -38,6 +39,11 @@ type SweepConfig struct {
 	// ShrinkBudget, when > 0, bounds the replays spent minimizing each
 	// violating schedule.
 	ShrinkBudget int
+	// Context, when non-nil, lets the caller cancel the sweep: cases
+	// already dispatched finish, nothing further starts, and Sweep
+	// returns the partial summary alongside the context's error. Signal
+	// handlers use this to flush partial reports on SIGINT/SIGTERM.
+	Context context.Context
 }
 
 func (cfg SweepConfig) defaults() SweepConfig {
@@ -148,25 +154,38 @@ func (s *Summary) Violations() []Outcome {
 }
 
 // Sweep runs the case matrix on a worker pool, shrinking each violating
-// schedule when a budget is given. Outcomes keep submission order.
+// schedule when a budget is given. Outcomes keep submission order. A
+// cancelled cfg.Context stops dispatching: the summary covers only the
+// cases that actually ran, and the context's error is returned alongside
+// it so callers can flush the partial result and still report the
+// interruption.
 func Sweep(cfg SweepConfig) (*Summary, error) {
 	cases, err := cfg.Cases()
 	if err != nil {
 		return nil, err
+	}
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	jobs := make([]runner.Job[Outcome], len(cases))
 	for i, c := range cases {
 		c := c
 		jobs[i] = runner.Job[Outcome]{Label: c.String(), Run: func() Outcome { return RunCase(c) }}
 	}
-	outcomes, err := runner.Collect(runner.New(cfg.Workers), jobs)
-	if err != nil {
+	outcomes, err := runner.CollectCtx(ctx, runner.New(cfg.Workers), jobs)
+	if err != nil && ctx.Err() == nil {
 		return nil, fmt.Errorf("torture: sweep: %w", err)
 	}
 
-	sum := &Summary{Total: len(outcomes), Counts: make(map[Verdict]int), Outcomes: outcomes}
+	// Skipped cases hold zero outcomes (empty verdict); keep only what ran.
+	sum := &Summary{Counts: make(map[Verdict]int)}
 	for i := range outcomes {
-		o := &sum.Outcomes[i]
+		if outcomes[i].Verdict == "" {
+			continue
+		}
+		sum.Outcomes = append(sum.Outcomes, outcomes[i])
+		o := &sum.Outcomes[len(sum.Outcomes)-1]
 		sum.Counts[o.Verdict]++
 		if o.Case.NegativeControl {
 			if o.Verdict == VerdictViolation {
@@ -179,7 +198,8 @@ func Sweep(cfg SweepConfig) (*Summary, error) {
 			o.Shrunk = Shrink(o.Case, cfg.ShrinkBudget)
 		}
 	}
-	return sum, nil
+	sum.Total = len(sum.Outcomes)
+	return sum, ctx.Err()
 }
 
 // Shrink minimizes the schedule behind a violating case by ddmin replay:

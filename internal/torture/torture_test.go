@@ -1,7 +1,9 @@
 package torture
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"testing"
 
 	"asap/internal/faults"
@@ -168,5 +170,40 @@ func TestOutcomeJSONRoundTrips(t *testing.T) {
 	}
 	if back.Verdict != o.Verdict || len(back.Faults) != len(o.Faults) {
 		t.Fatalf("round trip lost data: %+v vs %+v", back, o)
+	}
+}
+
+// TestSweepCancelledReturnsPartialSummary exercises the SIGINT path:
+// a pre-cancelled context must yield a partial summary plus the
+// context's error, never a nil summary — asaptorture relies on this to
+// flush its report before exiting 130.
+func TestSweepCancelledReturnsPartialSummary(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sum, err := Sweep(SweepConfig{
+		Presets:        []string{"dep2"},
+		SeedsPerPreset: 4,
+		Seed:           5,
+		Ops:            10,
+		Workers:        1,
+		Context:        ctx,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sum == nil {
+		t.Fatal("cancelled sweep returned nil summary")
+	}
+	if sum.Total != len(sum.Outcomes) {
+		t.Fatalf("Total %d != %d outcomes", sum.Total, len(sum.Outcomes))
+	}
+	for _, o := range sum.Outcomes {
+		if o.Verdict == "" {
+			t.Fatal("zero-value outcome leaked into partial summary")
+		}
+	}
+	all := 4*3 + 2 // (clean + 2 crash points) per seed, plus 2 controls
+	if sum.Total >= all {
+		t.Fatalf("cancelled sweep still ran all %d cases", sum.Total)
 	}
 }
