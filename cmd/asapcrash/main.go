@@ -19,7 +19,15 @@ import (
 
 	"asap/internal/crashtest"
 	"asap/internal/faults"
+	"asap/internal/report"
 )
+
+// isTerminal reports whether f is a character device, gating the default
+// progress line so piped/CI output stays clean.
+func isTerminal(f *os.File) bool {
+	fi, err := f.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
 
 func main() {
 	seed := flag.Int64("seed", 1, "sweep seed: derives every crash point and fault decision")
@@ -33,6 +41,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write the full JSON report to this file")
 	verbose := flag.Bool("v", false, "print every non-clean outcome")
+	progress := flag.Bool("progress", isTerminal(os.Stderr), "print a live progress line to stderr")
 	flag.Parse()
 
 	cfg := crashtest.SweepConfig{
@@ -64,7 +73,16 @@ func main() {
 	defer stopSignals()
 	cfg.Context = ctx
 
+	var prog *report.Progress
+	if *progress {
+		prog = report.NewProgress(os.Stderr)
+		cfg.Reporter = prog
+	}
+
 	sum, err := crashtest.Sweep(cfg)
+	if prog != nil {
+		prog.Finish()
+	}
 	if sum == nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)

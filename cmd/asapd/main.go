@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -40,6 +41,8 @@ import (
 	"time"
 
 	"asap/internal/queue"
+	"asap/internal/report"
+	"asap/internal/runner"
 	"asap/internal/sweep"
 )
 
@@ -57,7 +60,16 @@ func run() int {
 	volatileFlag := flag.Bool("volatile", false, "disable the journal (no crash safety; for the fault campaign's negative control)")
 	campaign := flag.Int("campaign", 0, "run N seeded kill/restart fault-campaign cases instead of serving")
 	seed := flag.Int64("seed", 1, "fault campaign seed")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asapd: %v\n", err)
+		return 2
+	}
+	slog.SetDefault(logger)
 
 	if *campaign > 0 {
 		return runCampaign(*campaign, *seed, *volatileFlag)
@@ -72,47 +84,48 @@ func run() int {
 			BackoffBase:   *backoffBase,
 			BackoffCap:    *backoffCap,
 		},
-		Exec:     sweepExec,
-		Validate: validateSpec,
-		Volatile: *volatileFlag,
+		Exec:              sweepExec,
+		Validate:          validateSpec,
+		Volatile:          *volatileFlag,
+		Logger:            logger,
+		ResultContentType: "text/plain; charset=utf-8",
 	}
 	d, err := queue.Open(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "asapd: %v\n", err)
+		logger.Error("open failed", "error", err)
 		return 1
 	}
 	if d.Recovered.Jobs > 0 || d.JournalRep.TornBytes > 0 {
-		fmt.Fprintf(os.Stderr,
-			"asapd: recovered %d jobs (%d pending, %d done, %d dead, %d orphaned leases requeued; %d torn journal bytes discarded)\n",
-			d.Recovered.Jobs, d.Recovered.Pending, d.Recovered.Done, d.Recovered.Dead,
-			d.Recovered.Orphaned, d.JournalRep.TornBytes)
+		logger.Info("recovered",
+			"jobs", d.Recovered.Jobs, "pending", d.Recovered.Pending,
+			"done", d.Recovered.Done, "dead", d.Recovered.Dead,
+			"orphaned", d.Recovered.Orphaned, "torn_bytes", d.JournalRep.TornBytes)
 	}
 	d.Start()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "asapd: %v\n", err)
+		logger.Error("listen failed", "addr", *addr, "error", err)
 		return 1
 	}
 	srv := &http.Server{Handler: d.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "asapd: serving on %s (data in %s, %d workers)\n",
-		ln.Addr(), *dir, *workers)
+	logger.Info("serving", "addr", ln.Addr().String(), "dir", *dir, "workers", *workers)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	select {
 	case <-ctx.Done():
 	case err := <-serveErr:
-		fmt.Fprintf(os.Stderr, "asapd: serve: %v\n", err)
+		logger.Error("serve failed", "error", err)
 		return 1
 	}
 
 	// Graceful drain: stop intake (new submissions already 503 once the
 	// drain flag is up), give in-flight sweeps the grace period, then
 	// checkpoint whatever is still running and flush the journal.
-	fmt.Fprintf(os.Stderr, "asapd: signal received, draining (grace %s)\n", *drainGrace)
+	logger.Info("signal received, draining", "grace", *drainGrace)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 	defer cancel()
 	drainErr := d.Drain(drainCtx)
@@ -120,11 +133,27 @@ func run() int {
 	defer cancel2()
 	srv.Shutdown(shutCtx)
 	if drainErr != nil {
-		fmt.Fprintf(os.Stderr, "asapd: drain: %v\n", drainErr)
+		logger.Error("drain failed", "error", drainErr)
 		return 1
 	}
-	fmt.Fprintln(os.Stderr, "asapd: drained cleanly")
+	logger.Info("drained cleanly")
 	return 0
+}
+
+// newLogger builds the structured event logger from the CLI flags.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
 }
 
 // validateSpec gates intake: a spec that does not parse and validate as
@@ -140,14 +169,23 @@ func validateSpec(raw json.RawMessage) error {
 // sweepExec runs one journaled job through the same renderer the CLI
 // uses. Each finished experiment heartbeats the lease, so a long sweep
 // making real progress outlives the lease timeout while a stalled one is
-// still redelivered.
+// still redelivered. Case completions stream to the daemon's per-job
+// progress hub, and — when a manifest collector is attached — an
+// instrumented representative run contributes profile/timeline/series
+// artifacts. Neither channel touches the result bytes: output
+// neutrality is test-enforced against the direct sweep.Execute path.
 func sweepExec(ctx context.Context, raw json.RawMessage) ([]byte, error) {
 	var spec sweep.Spec
 	if err := json.Unmarshal(raw, &spec); err != nil {
 		return nil, err
 	}
+	tracker := report.NewTracker()
+	tracker.SetOnUpdate(func(s report.Snapshot) { queue.PublishProgress(ctx, s) })
+	pool := runner.New(spec.Parallel)
+	pool.SetReporter(tracker)
 	var out bytes.Buffer
 	results, err := sweep.Execute(ctx, spec, &out, sweep.Options{
+		Pool:         pool,
 		OnExperiment: func(string, time.Duration, error) { queue.Heartbeat(ctx) },
 	})
 	if err != nil {
@@ -161,6 +199,20 @@ func sweepExec(ctx context.Context, raw json.RawMessage) ([]byte, error) {
 	}
 	if len(failed) > 0 {
 		return nil, fmt.Errorf("%d experiments failed: %v", len(failed), failed)
+	}
+	if queue.WantsArtifacts(ctx) {
+		arts, oerr := sweep.ObserveArtifacts(spec)
+		if oerr != nil {
+			// The result already rendered; a failed observer run costs the
+			// manifest extras, not the job.
+			slog.Warn("observe artifacts failed", "error", oerr)
+		}
+		for _, a := range arts {
+			queue.AddArtifact(ctx, queue.RawArtifact{
+				Name: a.Name, Kind: a.Kind, ContentType: a.ContentType, Data: a.Data,
+			})
+		}
+		queue.Heartbeat(ctx)
 	}
 	return out.Bytes(), nil
 }

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"sync"
 	"testing"
 
+	"asap/internal/queue"
+	"asap/internal/report"
 	"asap/internal/sweep"
 )
 
@@ -53,6 +56,90 @@ func TestSweepExecDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(a, b) {
 		t.Fatal("same spec produced different bytes across runs")
+	}
+}
+
+// TestSweepExecOutputNeutralUnderObservation is the observability
+// neutrality gate: running the executor with a daemon's full
+// instrumentation attached — an artifact sink and a progress publisher —
+// must produce byte-identical result output to a bare run, while the
+// side channels actually carry artifacts and progress events.
+func TestSweepExecOutputNeutralUnderObservation(t *testing.T) {
+	raw := json.RawMessage(`{"experiments":["fig8"],"scale":"quick"}`)
+
+	bare, err := sweepExec(context.Background(), raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var arts []queue.RawArtifact
+	var snaps []report.Snapshot
+	ctx := queue.WithArtifactSink(context.Background(), func(a queue.RawArtifact) {
+		mu.Lock()
+		arts = append(arts, a)
+		mu.Unlock()
+	})
+	ctx = queue.WithProgressPublisher(ctx, func(s report.Snapshot) {
+		mu.Lock()
+		snaps = append(snaps, s)
+		mu.Unlock()
+	})
+
+	observed, err := sweepExec(ctx, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bare, observed) {
+		t.Fatalf("observation changed the output: bare %d bytes, observed %d bytes",
+			len(bare), len(observed))
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots published")
+	}
+	last := snaps[len(snaps)-1]
+	if last.Done != last.Total || last.Total == 0 {
+		t.Fatalf("terminal snapshot incomplete: %+v", last)
+	}
+	wantKinds := map[string]bool{"profile": false, "timeline": false, "series": false}
+	for _, a := range arts {
+		if _, ok := wantKinds[a.Kind]; ok {
+			wantKinds[a.Kind] = true
+		}
+		if len(a.Data) == 0 {
+			t.Errorf("artifact %s is empty", a.Name)
+		}
+	}
+	for kind, seen := range wantKinds {
+		if !seen {
+			t.Errorf("no %s artifact collected (got %d artifacts)", kind, len(arts))
+		}
+	}
+}
+
+// TestObserveArtifactsDeterministic reruns the instrumented observer
+// pass and demands identical bytes — the property that makes manifest
+// hashes idempotent across job redeliveries.
+func TestObserveArtifactsDeterministic(t *testing.T) {
+	spec := sweep.Spec{Experiments: []string{"config"}, Scale: "quick"}
+	a, err := sweep.ObserveArtifacts(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sweep.ObserveArtifacts(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("artifact counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Data, b[i].Data) {
+			t.Errorf("artifact %s not deterministic", a[i].Name)
+		}
 	}
 }
 

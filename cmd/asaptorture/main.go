@@ -22,8 +22,16 @@ import (
 	"syscall"
 
 	"asap/internal/faults"
+	"asap/internal/report"
 	"asap/internal/torture"
 )
+
+// isTerminal reports whether f is a character device, gating the default
+// progress line so piped/CI output stays clean.
+func isTerminal(f *os.File) bool {
+	fi, err := f.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
 
 func main() {
 	seed := flag.Int64("seed", 0, "base seed (0: use ASAP_FUZZ_SEED, else 1)")
@@ -39,6 +47,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write the full JSON report to this file")
 	verbose := flag.Bool("v", false, "print every non-pass outcome")
+	progress := flag.Bool("progress", isTerminal(os.Stderr), "print a live progress line to stderr")
 	flag.Parse()
 
 	baseSeed := *seed
@@ -84,7 +93,16 @@ func main() {
 	defer stopSignals()
 	cfg.Context = ctx
 
+	var prog *report.Progress
+	if *progress {
+		prog = report.NewProgress(os.Stderr)
+		cfg.Reporter = prog
+	}
+
 	sum, err := torture.Sweep(cfg)
+	if prog != nil {
+		prog.Finish()
+	}
 	if sum == nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)

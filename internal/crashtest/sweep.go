@@ -26,6 +26,9 @@ type SweepConfig struct {
 	CrashLo, CrashHi uint64
 	// Workers sizes the runner pool (0 = GOMAXPROCS).
 	Workers int
+	// Reporter, when non-nil, receives per-case progress callbacks from
+	// the pool (the CLIs wire a live progress line through this).
+	Reporter runner.Reporter
 	// SkipValidation runs every case without recovery's integrity pass.
 	SkipValidation bool
 	// ShrinkBudget, when > 0, bounds the replays spent minimizing each
@@ -144,7 +147,11 @@ func Sweep(cfg SweepConfig) (*Summary, error) {
 		c := c
 		jobs[i] = runner.Job[Outcome]{Label: c.String(), Run: func() Outcome { return RunCase(c) }}
 	}
-	outcomes, err := runner.CollectCtx(ctx, runner.New(cfg.Workers), jobs)
+	pool := runner.New(cfg.Workers)
+	if cfg.Reporter != nil {
+		pool.SetReporter(cfg.Reporter)
+	}
+	outcomes, err := runner.CollectCtx(ctx, pool, jobs)
 	if err != nil && ctx.Err() == nil {
 		return nil, fmt.Errorf("crashtest: sweep: %w", err)
 	}

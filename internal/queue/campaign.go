@@ -436,7 +436,7 @@ func runCampaignCase(cfg CampaignConfig, caseIdx int) CaseResult {
 			Exec:        faultExec,
 			ExpireEvery: 5 * time.Millisecond,
 			SeriesEvery: -1,
-			Logf:        func(string, ...any) {},
+			Logger:      discardLogger(),
 			Volatile:    cfg.Volatile,
 			medium:      m,
 			mediumData:  data,

@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"path/filepath"
 	"sync"
 	"time"
 
+	"asap/internal/metrics"
 	"asap/internal/obs"
+	"asap/internal/report"
 )
 
 // Executor runs one job: spec in, artifact bytes out. It must honor ctx
@@ -22,6 +25,16 @@ type Executor func(ctx context.Context, spec json.RawMessage) ([]byte, error)
 
 // ErrDraining rejects intake once a drain has begun.
 var ErrDraining = errors.New("queue: daemon is draining")
+
+// DiscardLogger returns a logger that drops everything — tests and the
+// fault campaign run thousands of daemon lifecycles and must not spam.
+// (slog.DiscardHandler needs go 1.24; this module floors at 1.22.)
+func DiscardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// discardLogger is the package-internal alias campaign code uses.
+func discardLogger() *slog.Logger { return DiscardLogger() }
 
 // Config assembles a daemon.
 type Config struct {
@@ -42,8 +55,18 @@ type Config struct {
 	// SeriesEvery is the queue-depth sampling period for the obs
 	// recorder (default 250ms; 0 keeps the default, <0 disables).
 	SeriesEvery time.Duration
-	// Logf receives operational log lines (default log.Printf).
-	Logf func(format string, args ...any)
+	// Logger receives the structured operational event log: job
+	// lifecycle, recovery, drain and dead-letter events (default
+	// slog.Default()). Tests and the campaign pass a discard logger.
+	Logger *slog.Logger
+	// Metrics is the registry service instruments are registered on
+	// (default: a fresh registry, exposed as Daemon.Metrics). One
+	// registry belongs to one daemon: scrape-time gauges capture it.
+	Metrics *metrics.Registry
+	// ResultContentType is the Content-Type of the primary result
+	// artifact recorded in job manifests (default
+	// application/octet-stream; cmd/asapd sets text/plain).
+	ResultContentType string
 	// Clock overrides time.Now for deterministic tests.
 	Clock func() time.Time
 	// Volatile disables the journal: the fault campaign's negative
@@ -73,8 +96,11 @@ func (c Config) withDefaults() Config {
 	if c.SeriesEvery == 0 {
 		c.SeriesEvery = 250 * time.Millisecond
 	}
-	if c.Logf == nil {
-		c.Logf = log.Printf
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
@@ -95,6 +121,17 @@ type Daemon struct {
 	// Recovered and Journal report what Open replayed.
 	Recovered  RecoverResult
 	JournalRep ReplayReport
+	// Metrics is the service instrument registry (see Config.Metrics).
+	Metrics *metrics.Registry
+
+	met *svcMetrics
+	hub *progressHub
+
+	// ctypes caches artifact hash -> Content-Type from job manifests;
+	// ctRebuilt marks the one-time post-restart rebuild as done.
+	ctMu      sync.Mutex
+	ctypes    map[string]string
+	ctRebuilt bool
 
 	start time.Time
 
@@ -165,6 +202,17 @@ func Open(cfg Config) (*Daemon, error) {
 		jobCancel:   jobCancel,
 		running:     make(map[uint64]context.CancelFunc),
 		tickStop:    make(chan struct{}),
+		Metrics:     cfg.Metrics,
+		hub:         newProgressHub(),
+		ctypes:      make(map[string]string),
+	}
+	d.met = newSvcMetrics(d.Metrics)
+	d.met.wire(d)
+	if recov.Orphaned > 0 || rep.TornBytes > 0 {
+		cfg.Logger.Info("recovery",
+			"jobs", recov.Jobs, "pending", recov.Pending,
+			"orphaned", recov.Orphaned, "records", rep.Records,
+			"torn_bytes", rep.TornBytes)
 	}
 	if cfg.SeriesEvery > 0 {
 		d.Rec = obs.NewRecorder(uint64(cfg.SeriesEvery.Milliseconds()), 4096)
@@ -216,8 +264,9 @@ func (d *Daemon) runTickers() {
 				return
 			}
 			for _, ex := range expired {
-				d.cfg.Logf("asapd: lease expired: job %d delivery %d (worker %s, dead=%v)",
-					ex.ID, ex.Delivery, ex.Worker, ex.Dead)
+				d.cfg.Logger.Warn("lease expired",
+					"job", ex.ID, "delivery", ex.Delivery,
+					"worker", ex.Worker, "dead", ex.Dead)
 				d.cancelJob(ex.ID)
 			}
 		case <-series:
@@ -313,30 +362,54 @@ func Heartbeat(ctx context.Context) {
 }
 
 // execute runs one leased job end to end: executor (panic-captured,
-// context-cancellable), artifact persist, then ack — in that order, so a
-// crash between persist and ack redelivers into an idempotent Put.
+// context-cancellable), artifact + manifest persist, then ack — in that
+// order, so a crash between persist and ack redelivers into idempotent
+// Puts. The executor's context carries three opt-in channels back into
+// the daemon: the lease heartbeat, the artifact sink (extra outputs
+// for the manifest) and the progress publisher (per-job live counters).
 func (d *Daemon) execute(l *Lease) {
 	ctx, cancel := context.WithCancel(d.jobCtx)
-	ctx = WithHeartbeat(ctx, func() { d.Q.Extend(l) })
+	ctx = WithHeartbeat(ctx, func() {
+		d.met.heartbeats.Inc()
+		d.Q.Extend(l)
+	})
+	col := &artifactCollector{}
+	ctx = WithArtifactSink(ctx, col.add)
+	ctx = WithProgressPublisher(ctx, func(s report.Snapshot) {
+		d.hub.publish(ProgressEvent{
+			JobID: l.ID, State: "running",
+			Done: s.Done, Total: s.Total, Failed: s.Failed,
+			Current: s.Current, Rate: s.Rate, ETASec: s.ETASec,
+		})
+	})
 	d.trackJob(l.ID, cancel)
+	d.met.execBusy.Add(1)
+	t0 := time.Now()
 	art, err := runExecutor(ctx, d.cfg.Exec, l.Spec)
+	wall := time.Since(t0)
+	d.met.execBusy.Add(-1)
+	d.met.execJobSeconds.Observe(wall.Seconds())
 	d.untrackJob(l.ID)
 	cancel()
 
 	if err == nil {
-		hash, perr := d.St.Put(art)
+		hash, manifest, perr := d.persistResult(art, col.list())
 		if perr == nil {
-			switch aerr := d.Q.Ack(l, hash); {
+			switch aerr := d.Q.Ack(l, hash, manifest); {
 			case aerr == nil:
-				d.cfg.Logf("asapd: job %d done (delivery %d, %s)", l.ID, l.Delivery, hash)
+				d.cfg.Logger.Info("job done",
+					"job", l.ID, "delivery", l.Delivery,
+					"hash", hash, "manifest", manifest, "wall", wall)
+				d.publishJobState(l.ID, "done", true, hash, manifest, "")
 			case errors.Is(aerr, ErrLeaseLost):
-				d.cfg.Logf("asapd: job %d: late ack discarded (lease lost)", l.ID)
+				d.cfg.Logger.Warn("late ack discarded: lease lost",
+					"job", l.ID, "delivery", l.Delivery)
 			default:
-				d.cfg.Logf("asapd: job %d: ack failed: %v", l.ID, aerr)
+				d.cfg.Logger.Error("ack failed", "job", l.ID, "error", aerr)
 			}
 			return
 		}
-		err = fmt.Errorf("persisting artifact: %w", perr)
+		err = perr
 	}
 
 	// Cancellation during drain is a checkpoint, not a failure: the job
@@ -345,10 +418,12 @@ func (d *Daemon) execute(l *Lease) {
 	if ctx.Err() != nil && d.isDraining() {
 		switch rerr := d.Q.Release(l); {
 		case rerr == nil:
-			d.cfg.Logf("asapd: job %d checkpointed for drain (delivery %d uncharged)", l.ID, l.Delivery)
+			d.cfg.Logger.Info("job checkpointed for drain",
+				"job", l.ID, "delivery", l.Delivery)
+			d.publishJobState(l.ID, "released", false, "", "", "")
 		case errors.Is(rerr, ErrLeaseLost):
 		default:
-			d.cfg.Logf("asapd: job %d: release failed: %v", l.ID, rerr)
+			d.cfg.Logger.Error("release failed", "job", l.ID, "error", rerr)
 		}
 		return
 	}
@@ -356,14 +431,50 @@ func (d *Daemon) execute(l *Lease) {
 	dead, ferr := d.Q.Fail(l, err.Error())
 	switch {
 	case ferr == nil && dead:
-		d.cfg.Logf("asapd: job %d dead-lettered after %d deliveries: %v", l.ID, l.Delivery, err)
+		d.cfg.Logger.Warn("job dead-lettered",
+			"job", l.ID, "deliveries", l.Delivery, "error", err)
+		d.publishJobState(l.ID, "dead", true, "", "", err.Error())
 	case ferr == nil:
-		d.cfg.Logf("asapd: job %d failed (delivery %d, will retry): %v", l.ID, l.Delivery, err)
+		d.cfg.Logger.Warn("job failed, will retry",
+			"job", l.ID, "delivery", l.Delivery, "error", err)
+		d.publishJobState(l.ID, "failed", false, "", "", err.Error())
 	case errors.Is(ferr, ErrLeaseLost):
-		d.cfg.Logf("asapd: job %d: late failure discarded (lease lost)", l.ID)
+		d.cfg.Logger.Warn("late failure discarded: lease lost", "job", l.ID)
 	default:
-		d.cfg.Logf("asapd: job %d: recording failure failed: %v", l.ID, ferr)
+		d.cfg.Logger.Error("recording failure failed", "job", l.ID, "error", ferr)
 	}
+}
+
+// persistResult stores the primary result and, when the executor
+// emitted extra artifacts, the full manifest. The manifest hash is
+// empty for manifest-less jobs, preserving PR-7 job semantics exactly.
+func (d *Daemon) persistResult(art []byte, extras []RawArtifact) (hash, manifest string, err error) {
+	hash, err = d.St.Put(art)
+	if err != nil {
+		return "", "", fmt.Errorf("persisting artifact: %w", err)
+	}
+	if len(extras) == 0 {
+		return hash, "", nil
+	}
+	manifest, err = d.putManifest(hash, len(art), extras)
+	if err != nil {
+		return "", "", err
+	}
+	return hash, manifest, nil
+}
+
+// publishJobState emits a lifecycle event on the job's progress stream,
+// carrying forward the last known case counters so terminal events are
+// self-contained.
+func (d *Daemon) publishJobState(id uint64, state string, terminal bool, hash, manifest, errMsg string) {
+	ev := ProgressEvent{
+		JobID: id, State: state, Terminal: terminal,
+		Hash: hash, Manifest: manifest, Error: errMsg,
+	}
+	if last, ok := d.hub.latest(id); ok {
+		ev.Done, ev.Total, ev.Failed, ev.Current = last.Done, last.Total, last.Failed, last.Current
+	}
+	d.hub.publish(ev)
 }
 
 // runExecutor invokes the executor with panic capture, so a worker that
@@ -392,6 +503,21 @@ func (d *Daemon) Submit(spec json.RawMessage) (uint64, error) {
 	return d.Q.Enqueue(spec)
 }
 
+// Ready reports whether the daemon should receive traffic: replay and
+// recovery are complete (Start has been called) and no drain has begun.
+// The reason string is served on /readyz 503s.
+func (d *Daemon) Ready() (bool, string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch {
+	case !d.started:
+		return false, "starting: recovery/replay not complete"
+	case d.draining:
+		return false, "draining"
+	}
+	return true, "ok"
+}
+
 func (d *Daemon) isDraining() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -411,7 +537,7 @@ func (d *Daemon) Drain(ctx context.Context) error {
 	d.draining = true
 	d.mu.Unlock()
 
-	d.cfg.Logf("asapd: draining: intake stopped, waiting for in-flight jobs")
+	d.cfg.Logger.Info("draining: intake stopped, waiting for in-flight jobs")
 	d.leaseCancel()
 	close(d.tickStop)
 
@@ -423,12 +549,12 @@ func (d *Daemon) Drain(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-ctx.Done():
-		d.cfg.Logf("asapd: drain deadline hit: checkpointing in-flight jobs")
+		d.cfg.Logger.Warn("drain deadline hit: checkpointing in-flight jobs")
 		d.jobCancel()
 		<-done
 	}
 	err := d.Q.Close()
-	d.cfg.Logf("asapd: drained: journal flushed and closed")
+	d.cfg.Logger.Info("drained: journal flushed and closed")
 	return err
 }
 

@@ -25,7 +25,7 @@ func testDaemonConfig(dir string, exec Executor) Config {
 		Exec:        exec,
 		ExpireEvery: 5 * time.Millisecond,
 		SeriesEvery: -1,
-		Logf:        func(string, ...any) {},
+		Logger:      DiscardLogger(),
 	}
 }
 

@@ -21,6 +21,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"asap/internal/metrics"
 )
 
 // Journal file layout:
@@ -105,8 +107,12 @@ type Record struct {
 	Deadline  int64  `json:"deadline,omitempty"`
 	NotBefore int64  `json:"not_before,omitempty"`
 	Hash      string `json:"hash,omitempty"`
-	Reason    string `json:"reason,omitempty"`
-	Final     bool   `json:"final,omitempty"`
+	// Manifest is the content address of the job's artifact manifest
+	// (RecAck only; empty for manifest-less jobs and pre-manifest
+	// journals, which replay unchanged).
+	Manifest string `json:"manifest,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+	Final    bool   `json:"final,omitempty"`
 	// At is the wall time of the append, Unix nanoseconds; informational.
 	At int64 `json:"at,omitempty"`
 }
@@ -144,6 +150,20 @@ type Journal struct {
 	f      *os.File // when file-backed; nil for raw-medium journals
 	off    int64
 	closed bool
+
+	// Service instruments, attached by the daemon after Open; the
+	// counters are nil-safe, so a standalone journal stays unmetered.
+	metAppends *metrics.Counter
+	metBytes   *metrics.Counter
+	metSyncs   *metrics.Counter
+}
+
+// setMetrics attaches append/byte/sync counters. Call before sharing
+// the journal (the daemon does this inside Open).
+func (j *Journal) setMetrics(appends, bytes, syncs *metrics.Counter) {
+	j.mu.Lock()
+	j.metAppends, j.metBytes, j.metSyncs = appends, bytes, syncs
+	j.mu.Unlock()
 }
 
 // encodeFileHeader builds the 16-byte journal file header.
@@ -327,6 +347,9 @@ func (j *Journal) Append(rec Record) error {
 		return fmt.Errorf("queue: journal sync: %w", err)
 	}
 	j.off += int64(len(buf))
+	j.metAppends.Inc()
+	j.metBytes.Add(float64(len(buf)))
+	j.metSyncs.Inc()
 	return nil
 }
 

@@ -1,0 +1,211 @@
+package queue
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Artifact kinds. Kind is the semantic tag a client filters on; the
+// ContentType is what the HTTP layer serves the bytes as. The kinds
+// mirror what an instrumented sweep produces: the rendered result
+// tables, the cycle-attribution profile, a Perfetto timeline, and the
+// occupancy series CSV.
+const (
+	KindResult   = "result"
+	KindProfile  = "profile"
+	KindTimeline = "timeline"
+	KindSeries   = "series"
+)
+
+// Artifact is one named object in a job's manifest.
+type Artifact struct {
+	Name        string `json:"name"`
+	Kind        string `json:"kind"`
+	ContentType string `json:"content_type"`
+	Hash        string `json:"hash"`
+	Bytes       int64  `json:"bytes"`
+}
+
+// Manifest is a job's full output: the primary result plus every
+// observer-produced extra, each content-addressed. The manifest itself
+// is stored as an object, so it shares the store's idempotence: a
+// redelivered job that produces the same artifact bytes produces the
+// same manifest bytes and therefore the same manifest hash — which is
+// what the redelivery-idempotence test pins down.
+type Manifest struct {
+	Result    string     `json:"result"` // hash of the primary result artifact
+	Artifacts []Artifact `json:"artifacts"`
+}
+
+// EncodeManifest renders m deterministically (struct field order is
+// fixed; artifact order is the executor's emission order, which for a
+// deterministic executor is itself deterministic).
+func EncodeManifest(m Manifest) ([]byte, error) {
+	return json.MarshalIndent(m, "", "  ")
+}
+
+// DecodeManifest parses manifest bytes.
+func DecodeManifest(b []byte) (Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Manifest{}, fmt.Errorf("queue: decoding manifest: %w", err)
+	}
+	return m, nil
+}
+
+// RawArtifact is an extra output an executor hands the daemon while a
+// job runs: the daemon Puts the data and records the address in the
+// job's manifest.
+type RawArtifact struct {
+	Name        string
+	Kind        string
+	ContentType string
+	Data        []byte
+}
+
+// artifactSinkKey carries the per-job artifact collector into executor
+// contexts, mirroring the heartbeat plumbing: executors stay plain
+// (ctx, spec) -> (bytes, error) functions and opt into richer output by
+// calling AddArtifact.
+type artifactSinkKey struct{}
+
+// WithArtifactSink attaches an artifact collector to ctx.
+func WithArtifactSink(ctx context.Context, fn func(RawArtifact)) context.Context {
+	return context.WithValue(ctx, artifactSinkKey{}, fn)
+}
+
+// AddArtifact hands one extra artifact to the daemon running this job.
+// Outside a daemon (direct executor invocation, one-shot CLI) it is a
+// no-op, which is what keeps executors output-neutral by construction.
+func AddArtifact(ctx context.Context, a RawArtifact) {
+	if fn, ok := ctx.Value(artifactSinkKey{}).(func(RawArtifact)); ok {
+		fn(a)
+	}
+}
+
+// WantsArtifacts reports whether ctx carries an artifact sink — i.e.
+// extra outputs would actually land in a manifest. Executors use it to
+// skip producing expensive optional artifacts when nobody collects them.
+func WantsArtifacts(ctx context.Context) bool {
+	_, ok := ctx.Value(artifactSinkKey{}).(func(RawArtifact))
+	return ok
+}
+
+// artifactCollector accumulates RawArtifacts for one job. The executor
+// runs in one goroutine, but sweeps may emit from pooled workers, so
+// appends are locked.
+type artifactCollector struct {
+	mu  sync.Mutex
+	out []RawArtifact
+}
+
+func (c *artifactCollector) add(a RawArtifact) {
+	c.mu.Lock()
+	c.out = append(c.out, a)
+	c.mu.Unlock()
+}
+
+func (c *artifactCollector) list() []RawArtifact {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.out
+}
+
+// indexManifest records every artifact's content type (and the
+// manifest's own, application/json) in the daemon's serve-time cache.
+func (d *Daemon) indexManifest(manifestHash string, m Manifest) {
+	d.ctMu.Lock()
+	defer d.ctMu.Unlock()
+	d.ctypes[manifestHash] = "application/json"
+	for _, a := range m.Artifacts {
+		d.ctypes[a.Hash] = a.ContentType
+	}
+}
+
+// contentTypeFor resolves the Content-Type an artifact should be served
+// as. The cache is fed by putManifest as jobs complete; on a miss — an
+// artifact produced before the last restart — the cache is rebuilt once
+// from every done job's manifest, so content types survive restarts
+// without a sidecar database (the manifests ARE the database).
+func (d *Daemon) contentTypeFor(hash string) string {
+	d.ctMu.Lock()
+	ct, ok := d.ctypes[hash]
+	rebuilt := d.ctRebuilt
+	d.ctMu.Unlock()
+	if ok {
+		return ct
+	}
+	if !rebuilt {
+		for _, info := range d.Q.List() {
+			if info.State != StateDone || info.Manifest == "" {
+				continue
+			}
+			b, err := d.St.Get(info.Manifest)
+			if err != nil {
+				continue
+			}
+			m, err := DecodeManifest(b)
+			if err != nil {
+				continue
+			}
+			d.indexManifest(info.Manifest, m)
+		}
+		d.ctMu.Lock()
+		d.ctRebuilt = true
+		ct, ok = d.ctypes[hash]
+		d.ctMu.Unlock()
+		if ok {
+			return ct
+		}
+	}
+	return "application/octet-stream"
+}
+
+// putManifest stores every extra artifact plus the manifest object
+// itself, returning the manifest hash. resultHash/resultLen describe
+// the already-stored primary result.
+func (d *Daemon) putManifest(resultHash string, resultLen int, extras []RawArtifact) (string, error) {
+	rct := d.cfg.ResultContentType
+	if rct == "" {
+		rct = "application/octet-stream"
+	}
+	m := Manifest{
+		Result: resultHash,
+		Artifacts: []Artifact{{
+			Name:        "result",
+			Kind:        KindResult,
+			ContentType: rct,
+			Hash:        resultHash,
+			Bytes:       int64(resultLen),
+		}},
+	}
+	for _, a := range extras {
+		h, err := d.St.Put(a.Data)
+		if err != nil {
+			return "", fmt.Errorf("persisting artifact %q: %w", a.Name, err)
+		}
+		ct := a.ContentType
+		if ct == "" {
+			ct = "application/octet-stream"
+		}
+		m.Artifacts = append(m.Artifacts, Artifact{
+			Name:        a.Name,
+			Kind:        a.Kind,
+			ContentType: ct,
+			Hash:        h,
+			Bytes:       int64(len(a.Data)),
+		})
+	}
+	b, err := EncodeManifest(m)
+	if err != nil {
+		return "", err
+	}
+	h, err := d.St.Put(b)
+	if err != nil {
+		return "", fmt.Errorf("persisting manifest: %w", err)
+	}
+	d.indexManifest(h, m)
+	return h, nil
+}

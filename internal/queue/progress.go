@@ -1,0 +1,126 @@
+package queue
+
+import (
+	"context"
+	"sync"
+
+	"asap/internal/report"
+)
+
+// ProgressEvent is one per-job progress update, served both as the
+// /progress poll body and as SSE event data. Running updates carry the
+// executor's case counters (a report.Snapshot — the same sliding-window
+// rate/ETA implementation the CLI progress lines use); the terminal
+// event carries the job's verdict.
+type ProgressEvent struct {
+	JobID    uint64  `json:"job_id"`
+	Seq      uint64  `json:"seq"`
+	State    string  `json:"state"` // running | done | failed | dead | released
+	Done     int     `json:"done"`
+	Total    int     `json:"total"`
+	Failed   int     `json:"failed"`
+	Current  string  `json:"current,omitempty"`
+	Rate     float64 `json:"rate"`
+	ETASec   float64 `json:"eta_sec"`
+	Terminal bool    `json:"terminal"`
+	Hash     string  `json:"hash,omitempty"`
+	Manifest string  `json:"manifest,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// progressKey carries the per-job progress publisher into executor
+// contexts, exactly like the heartbeat and artifact-sink plumbing.
+type progressKey struct{}
+
+// WithProgressPublisher attaches a progress publisher to ctx.
+func WithProgressPublisher(ctx context.Context, fn func(report.Snapshot)) context.Context {
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// PublishProgress forwards a case-counter snapshot to the daemon
+// running this job. Outside a daemon it is a no-op.
+func PublishProgress(ctx context.Context, s report.Snapshot) {
+	if fn, ok := ctx.Value(progressKey{}).(func(report.Snapshot)); ok {
+		fn(s)
+	}
+}
+
+// subscriberBuf is each subscriber's channel depth. Slow consumers lose
+// intermediate updates (drop-oldest), never the terminal event.
+const subscriberBuf = 16
+
+// progressHub fans per-job progress events out to HTTP subscribers and
+// retains the latest event per job for poll-style readers.
+type progressHub struct {
+	mu   sync.Mutex
+	subs map[uint64]map[chan ProgressEvent]struct{}
+	last map[uint64]ProgressEvent
+	seq  map[uint64]uint64
+}
+
+func newProgressHub() *progressHub {
+	return &progressHub{
+		subs: make(map[uint64]map[chan ProgressEvent]struct{}),
+		last: make(map[uint64]ProgressEvent),
+		seq:  make(map[uint64]uint64),
+	}
+}
+
+// publish stamps the sequence number, retains the event as the job's
+// latest, and offers it to every subscriber. Full subscriber buffers
+// drop their oldest pending event to make room, so a stalled SSE client
+// always converges on the newest state and cannot miss the terminal.
+func (h *progressHub) publish(ev ProgressEvent) {
+	h.mu.Lock()
+	h.seq[ev.JobID]++
+	ev.Seq = h.seq[ev.JobID]
+	h.last[ev.JobID] = ev
+	for ch := range h.subs[ev.JobID] {
+		for {
+			select {
+			case ch <- ev:
+			default:
+				select {
+				case <-ch: // drop oldest, retry
+					continue
+				default:
+				}
+			}
+			break
+		}
+	}
+	h.mu.Unlock()
+}
+
+// latest returns the most recent event for a job, if any.
+func (h *progressHub) latest(id uint64) (ProgressEvent, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ev, ok := h.last[id]
+	return ev, ok
+}
+
+// subscribe registers a listener for one job's events. The latest known
+// event (if any) is pre-queued so late subscribers — including ones
+// arriving after the job finished — immediately see current state.
+// The returned cancel must be called exactly once.
+func (h *progressHub) subscribe(id uint64) (<-chan ProgressEvent, func()) {
+	ch := make(chan ProgressEvent, subscriberBuf)
+	h.mu.Lock()
+	if h.subs[id] == nil {
+		h.subs[id] = make(map[chan ProgressEvent]struct{})
+	}
+	h.subs[id][ch] = struct{}{}
+	if ev, ok := h.last[id]; ok {
+		ch <- ev
+	}
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		delete(h.subs[id], ch)
+		if len(h.subs[id]) == 0 {
+			delete(h.subs, id)
+		}
+		h.mu.Unlock()
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"asap/internal/metrics"
 )
 
 // JobState is a job's position in the lease state machine:
@@ -97,6 +99,7 @@ type JobInfo struct {
 	Deliveries int             `json:"deliveries"`
 	Worker     string          `json:"worker,omitempty"`
 	Hash       string          `json:"hash,omitempty"`
+	Manifest   string          `json:"manifest,omitempty"`
 	LastError  string          `json:"last_error,omitempty"`
 	NotBefore  time.Time       `json:"not_before,omitempty"`
 	Deadline   time.Time       `json:"deadline,omitempty"`
@@ -147,6 +150,7 @@ type job struct {
 	deadline   time.Time
 	notBefore  time.Time
 	hash       string
+	manifest   string
 	lastErr    string
 }
 
@@ -164,6 +168,7 @@ type Queue struct {
 	nextID uint64
 	closed bool
 	ctr    map[string]int64
+	met    *metrics.CounterVec // transition counters; nil until attached
 	notify chan struct{}
 }
 
@@ -234,7 +239,7 @@ func Restore(pol Policy, opt Options, recs []Record) (*Queue, RecoverResult, err
 		if err := q.apply(rec); err != nil {
 			return nil, res, err
 		}
-		q.ctr[CtrOrphaned]++
+		q.bump(CtrOrphaned)
 	}
 	for _, id := range q.order {
 		switch q.jobs[id].state {
@@ -303,6 +308,7 @@ func (q *Queue) apply(rec Record) error {
 		}
 		jb.state = StateDone
 		jb.hash = rec.Hash
+		jb.manifest = rec.Manifest
 		jb.worker = ""
 	case RecFail:
 		jb := q.jobs[rec.ID]
@@ -362,6 +368,36 @@ func (q *Queue) wake() {
 // leasable (enqueue, requeue, expiry). Workers select on it.
 func (q *Queue) Notify() <-chan struct{} { return q.notify }
 
+// Journal exposes the backing journal (nil in volatile mode) so the
+// daemon can attach instruments and report its size.
+func (q *Queue) Journal() *Journal { return q.j }
+
+// setMetrics mirrors the queue's transition counters into a labelled
+// metric family. Values already accumulated — recovery bumps orphaned/
+// failed/dead before the daemon can attach instruments — are synced in,
+// so a post-restart scrape agrees with the recovery report.
+func (q *Queue) setMetrics(vec *metrics.CounterVec) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.met = vec
+	for name, v := range q.ctr {
+		if lbl, ok := transitionLabel[name]; ok {
+			vec.With(lbl).Add(float64(v))
+		}
+	}
+}
+
+// bump charges one lifetime counter and its metric mirror. Callers
+// hold q.mu.
+func (q *Queue) bump(name string) {
+	q.ctr[name]++
+	if q.met != nil {
+		if lbl, ok := transitionLabel[name]; ok {
+			q.met.With(lbl).Inc()
+		}
+	}
+}
+
 // Enqueue admits a job and returns its ID.
 func (q *Queue) Enqueue(spec json.RawMessage) (uint64, error) {
 	q.mu.Lock()
@@ -374,7 +410,7 @@ func (q *Queue) Enqueue(spec json.RawMessage) (uint64, error) {
 	if err := q.commit(rec); err != nil {
 		return 0, err
 	}
-	q.ctr[CtrEnqueued]++
+	q.bump(CtrEnqueued)
 	q.wake()
 	return id, nil
 }
@@ -419,9 +455,9 @@ func (q *Queue) TryLease(worker string) (l *Lease, wait time.Duration, err error
 	if err := q.commit(rec); err != nil {
 		return nil, 0, err
 	}
-	q.ctr[CtrLeased]++
+	q.bump(CtrLeased)
 	if rec.Delivery > 1 {
-		q.ctr[CtrRedelivered]++
+		q.bump(CtrRedelivered)
 	}
 	return &Lease{
 		ID:       pick.id,
@@ -442,24 +478,25 @@ func (q *Queue) leaseLive(l *Lease) *job {
 	return jb
 }
 
-// Ack completes l's job with the artifact hash. ErrLeaseLost means the
+// Ack completes l's job with the artifact hash and (optionally) the
+// content address of its artifact manifest. ErrLeaseLost means the
 // lease expired (the job was redelivered) or the job already finished;
 // the caller's work must be discarded, never recorded twice.
-func (q *Queue) Ack(l *Lease, hash string) error {
+func (q *Queue) Ack(l *Lease, hash, manifest string) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return ErrClosed
 	}
 	if q.leaseLive(l) == nil {
-		q.ctr[CtrLeaseLost]++
+		q.bump(CtrLeaseLost)
 		return ErrLeaseLost
 	}
-	rec := Record{Type: RecAck, ID: l.ID, Delivery: l.Delivery, Hash: hash, At: q.now().UnixNano()}
+	rec := Record{Type: RecAck, ID: l.ID, Delivery: l.Delivery, Hash: hash, Manifest: manifest, At: q.now().UnixNano()}
 	if err := q.commit(rec); err != nil {
 		return err
 	}
-	q.ctr[CtrAcked]++
+	q.bump(CtrAcked)
 	return nil
 }
 
@@ -473,16 +510,16 @@ func (q *Queue) Fail(l *Lease, reason string) (dead bool, err error) {
 	}
 	jb := q.leaseLive(l)
 	if jb == nil {
-		q.ctr[CtrLeaseLost]++
+		q.bump(CtrLeaseLost)
 		return false, ErrLeaseLost
 	}
 	rec := q.failRecord(jb, reason)
 	if err := q.commit(rec); err != nil {
 		return false, err
 	}
-	q.ctr[CtrFailed]++
+	q.bump(CtrFailed)
 	if rec.Final {
-		q.ctr[CtrDead]++
+		q.bump(CtrDead)
 	} else {
 		q.wake()
 	}
@@ -498,14 +535,14 @@ func (q *Queue) Release(l *Lease) error {
 		return ErrClosed
 	}
 	if q.leaseLive(l) == nil {
-		q.ctr[CtrLeaseLost]++
+		q.bump(CtrLeaseLost)
 		return ErrLeaseLost
 	}
 	rec := Record{Type: RecRelease, ID: l.ID, Delivery: l.Delivery, At: q.now().UnixNano()}
 	if err := q.commit(rec); err != nil {
 		return err
 	}
-	q.ctr[CtrReleased]++
+	q.bump(CtrReleased)
 	q.wake()
 	return nil
 }
@@ -559,9 +596,9 @@ func (q *Queue) ExpireLeases() ([]ExpiredLease, error) {
 			return out, err
 		}
 		ex.Dead = rec.Final
-		q.ctr[CtrExpired]++
+		q.bump(CtrExpired)
 		if rec.Final {
-			q.ctr[CtrDead]++
+			q.bump(CtrDead)
 		}
 		out = append(out, ex)
 	}
@@ -601,6 +638,7 @@ func (q *Queue) info(jb *job) JobInfo {
 		Deliveries: jb.deliveries,
 		Worker:     jb.worker,
 		Hash:       jb.hash,
+		Manifest:   jb.manifest,
 		LastError:  jb.lastErr,
 		NotBefore:  jb.notBefore,
 		Deadline:   jb.deadline,

@@ -64,7 +64,7 @@ func TestQueueLifecycle(t *testing.T) {
 	if info, _ := q.Get(id); info.State != StateLeased {
 		t.Fatalf("state %s after lease", info.State)
 	}
-	if err := q.Ack(l, "sha256-x"); err != nil {
+	if err := q.Ack(l, "sha256-x", ""); err != nil {
 		t.Fatalf("ack: %v", err)
 	}
 	info, _ := q.Get(id)
@@ -176,7 +176,7 @@ func TestQueueLeaseLostGuardsDoubleCompletion(t *testing.T) {
 	l2 := mustLease(t, q, "w1")
 
 	// The original worker wakes up: all of its verbs must bounce.
-	if err := q.Ack(l, "sha256-stale"); !errors.Is(err, ErrLeaseLost) {
+	if err := q.Ack(l, "sha256-stale", ""); !errors.Is(err, ErrLeaseLost) {
 		t.Fatalf("stale ack: %v", err)
 	}
 	if _, err := q.Fail(l, "stale"); !errors.Is(err, ErrLeaseLost) {
@@ -186,10 +186,10 @@ func TestQueueLeaseLostGuardsDoubleCompletion(t *testing.T) {
 		t.Fatalf("stale release: %v", err)
 	}
 	// The live lease still works, exactly once.
-	if err := q.Ack(l2, "sha256-good"); err != nil {
+	if err := q.Ack(l2, "sha256-good", ""); err != nil {
 		t.Fatalf("live ack: %v", err)
 	}
-	if err := q.Ack(l2, "sha256-good"); !errors.Is(err, ErrLeaseLost) {
+	if err := q.Ack(l2, "sha256-good", ""); !errors.Is(err, ErrLeaseLost) {
 		t.Fatalf("double ack: %v", err)
 	}
 	if got := q.Counters()[CtrLeaseLost]; got != 4 {
@@ -237,7 +237,7 @@ func TestQueueTryLeaseOldestFirst(t *testing.T) {
 		if l.ID != want {
 			t.Fatalf("leased %d, want %d (oldest first)", l.ID, want)
 		}
-		q.Ack(l, "sha256-x")
+		q.Ack(l, "sha256-x", "")
 	}
 }
 
@@ -253,7 +253,7 @@ func TestQueueRestoreReplaysAndOrphans(t *testing.T) {
 	idOrphan, _ := q.Enqueue(json.RawMessage(`{"j":"orphan"}`))
 	idPending, _ := q.Enqueue(json.RawMessage(`{"j":"pending"}`))
 	l := mustLease(t, q, "w0") // idDone
-	q.Ack(l, "sha256-done")
+	q.Ack(l, "sha256-done", "")
 	mustLease(t, q, "w1") // idOrphan — never acked: the "daemon dies here" point
 
 	// Restart: replay the journal into a fresh queue.
@@ -328,7 +328,7 @@ func TestQueueVolatileModeWorksWithoutJournal(t *testing.T) {
 		t.Fatalf("volatile enqueue: %v", err)
 	}
 	l := mustLease(t, q, "w0")
-	if err := q.Ack(l, "sha256-x"); err != nil {
+	if err := q.Ack(l, "sha256-x", ""); err != nil {
 		t.Fatalf("volatile ack: %v", err)
 	}
 	if info, _ := q.Get(id); info.State != StateDone {

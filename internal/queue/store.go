@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"asap/internal/metrics"
 )
 
 // Store is a content-addressed artifact store: objects live at
@@ -18,6 +20,16 @@ import (
 // execution look exactly-once to every reader.
 type Store struct {
 	dir string
+
+	// Service instruments, attached by the daemon; nil-safe.
+	metPuts     *metrics.Counter
+	metDedup    *metrics.Counter
+	metPutBytes *metrics.Counter
+}
+
+// setMetrics attaches put/dedup/byte counters.
+func (s *Store) setMetrics(puts, dedup, bytes *metrics.Counter) {
+	s.metPuts, s.metDedup, s.metPutBytes = puts, dedup, bytes
 }
 
 // ErrBadHash rejects malformed or path-escaping artifact addresses.
@@ -61,7 +73,10 @@ func (s *Store) Put(b []byte) (string, error) {
 	hash := HashBytes(b)
 	hexpart, _ := parseHash(hash)
 	final := s.objectPath(hexpart)
+	s.metPuts.Inc()
+	s.metPutBytes.Add(float64(len(b)))
 	if _, err := os.Stat(final); err == nil {
+		s.metDedup.Inc()
 		return hash, nil
 	}
 	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {

@@ -79,3 +79,110 @@ func TestProgressConcurrentStartDone(t *testing.T) {
 		t.Fatal("Finish must terminate the line")
 	}
 }
+
+// TestSnapshotRateAndETA drives a fake clock so the sliding-window
+// rate is deterministic: 4 completions 1s apart → 1 case/s over the
+// window → 6 remaining cases → 6s ETA.
+func TestSnapshotRateAndETA(t *testing.T) {
+	p := NewTracker()
+	now := time.Unix(1000, 0)
+	p.now = func() time.Time { return now }
+	p.Start(10)
+	for i := 0; i < 4; i++ {
+		now = now.Add(time.Second)
+		p.Done(fmt.Sprintf("case%d", i), time.Millisecond, true)
+	}
+	s := p.Snapshot()
+	if s.Done != 4 || s.Total != 10 || s.Failed != 0 {
+		t.Fatalf("snapshot counters = %+v", s)
+	}
+	if s.Current != "case3" {
+		t.Fatalf("current = %q, want case3", s.Current)
+	}
+	// 4 samples spanning 3s → 4/3 cases/s.
+	if s.Rate < 1.3 || s.Rate > 1.4 {
+		t.Fatalf("rate = %v, want ~1.33", s.Rate)
+	}
+	wantETA := time.Duration(float64(6) / s.Rate * float64(time.Second))
+	if s.ETA != wantETA {
+		t.Fatalf("eta = %v, want %v", s.ETA, wantETA)
+	}
+	if s.ETASec != s.ETA.Seconds() {
+		t.Fatalf("eta_sec = %v, want %v", s.ETASec, s.ETA.Seconds())
+	}
+}
+
+// TestSlidingWindowForgetsOldSamples checks the rate reflects recent
+// throughput, not lifetime average: a fast burst followed by silence
+// and one late completion must not report the burst rate.
+func TestSlidingWindowForgetsOldSamples(t *testing.T) {
+	p := NewTracker()
+	now := time.Unix(1000, 0)
+	p.now = func() time.Time { return now }
+	p.Start(100)
+	for i := 0; i < 50; i++ {
+		now = now.Add(10 * time.Millisecond)
+		p.Done("burst", time.Millisecond, true)
+	}
+	burst := p.Snapshot().Rate
+	if burst < 50 {
+		t.Fatalf("burst rate = %v, want >= 50", burst)
+	}
+	now = now.Add(time.Minute) // silence longer than the window
+	now = now.Add(time.Second)
+	p.Done("late", time.Millisecond, true)
+	after := p.Snapshot().Rate
+	if after >= burst/2 {
+		t.Fatalf("stale burst still dominates: rate = %v (burst %v)", after, burst)
+	}
+}
+
+func TestTrackerNeverDraws(t *testing.T) {
+	p := NewTracker()
+	p.Start(2)
+	p.Done("a", time.Millisecond, true)
+	p.Finish() // must not panic with nil writer
+	s := p.Snapshot()
+	if s.Done != 1 || s.Total != 2 {
+		t.Fatalf("tracker counters = %+v", s)
+	}
+}
+
+// TestOnUpdateDeliversOrderedSnapshots checks the callback fires for
+// every Start/Done with monotonically non-decreasing done counts.
+func TestOnUpdateDeliversOrderedSnapshots(t *testing.T) {
+	p := NewTracker()
+	var got []Snapshot
+	p.SetOnUpdate(func(s Snapshot) { got = append(got, s) })
+	p.Start(3)
+	p.Done("a", time.Millisecond, true)
+	p.Done("b", time.Millisecond, false)
+	p.Done("c", time.Millisecond, true)
+	if len(got) != 4 {
+		t.Fatalf("callback count = %d, want 4", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Done < got[i-1].Done {
+			t.Fatalf("done regressed at %d: %+v", i, got)
+		}
+	}
+	last := got[len(got)-1]
+	if last.Done != 3 || last.Failed != 1 || last.Current != "c" {
+		t.Fatalf("terminal snapshot = %+v", last)
+	}
+}
+
+func TestProgressLineIncludesRate(t *testing.T) {
+	var b strings.Builder
+	p := NewProgress(&b)
+	now := time.Unix(1000, 0)
+	p.now = func() time.Time { return now }
+	p.Start(4)
+	now = now.Add(time.Second)
+	p.Done("a", time.Millisecond, true)
+	now = now.Add(time.Second)
+	p.Done("b", time.Millisecond, true)
+	if !strings.Contains(b.String(), "/s") {
+		t.Fatalf("rate missing from %q", b.String())
+	}
+}

@@ -1,0 +1,73 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+
+	"asap/internal/experiment"
+	"asap/internal/obs"
+	"asap/internal/trace"
+)
+
+// ObsArtifact is one observability output from an instrumented
+// representative run: the PR-3 observer layer's profile, timeline and
+// occupancy series, rendered to bytes for a job manifest.
+type ObsArtifact struct {
+	Name        string
+	Kind        string // "profile" | "timeline" | "series"
+	ContentType string
+	Data        []byte
+}
+
+// obsSeriesInterval is the occupancy sampling interval (cycles) for
+// manifest series artifacts — asapsim's default.
+const obsSeriesInterval = 1000
+
+// ObserveArtifacts runs one instrumented representative experiment for
+// the spec — its profile benchmark (default Q) under ASAP at the spec's
+// scale, with the full PR-3 session attached (cycle-attribution
+// profiler with spans, occupancy recorder, protocol trace buffer) —
+// and renders profile JSON, a Perfetto timeline and the series CSV.
+//
+// The instrumented run is separate from the sweep itself, so Execute's
+// output neutrality is preserved by construction. The simulation is
+// deterministic for a given spec, so artifact bytes — and therefore
+// their content addresses — are identical across job redeliveries,
+// which the manifest-idempotence test enforces.
+func ObserveArtifacts(spec Spec) ([]ObsArtifact, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	bench := spec.ProfileBench
+	if bench == "" {
+		bench = "Q"
+	}
+	prof := obs.NewProfiler()
+	prof.EnableSpans(0)
+	rec := obs.NewRecorder(obsSeriesInterval, 0)
+	buf := trace.NewBuffer(1 << 16)
+	experiment.Run(experiment.Variant{
+		Scheme: "ASAP",
+		Trace:  buf,
+		Obs:    &obs.Session{Prof: prof, Rec: rec},
+	}, bench, spec.scale(), 64)
+	if err := prof.Check(); err != nil {
+		return nil, fmt.Errorf("sweep: observe: profile self-check: %w", err)
+	}
+
+	var profJSON, timeline, seriesCSV bytes.Buffer
+	if err := prof.WriteJSON(&profJSON); err != nil {
+		return nil, fmt.Errorf("sweep: observe: profile: %w", err)
+	}
+	if err := obs.WriteTimeline(&timeline, buf.Events(), prof, rec); err != nil {
+		return nil, fmt.Errorf("sweep: observe: timeline: %w", err)
+	}
+	if err := rec.WriteCSV(&seriesCSV); err != nil {
+		return nil, fmt.Errorf("sweep: observe: series: %w", err)
+	}
+	return []ObsArtifact{
+		{Name: "profile.json", Kind: "profile", ContentType: "application/json", Data: profJSON.Bytes()},
+		{Name: "trace.json", Kind: "timeline", ContentType: "application/json", Data: timeline.Bytes()},
+		{Name: "series.csv", Kind: "series", ContentType: "text/csv; charset=utf-8", Data: seriesCSV.Bytes()},
+	}, nil
+}

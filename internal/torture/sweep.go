@@ -36,6 +36,9 @@ type SweepConfig struct {
 	NegativeControls int
 	// Workers sizes the runner pool (0 = GOMAXPROCS).
 	Workers int
+	// Reporter, when non-nil, receives per-case progress callbacks from
+	// the pool (the CLIs wire a live progress line through this).
+	Reporter runner.Reporter
 	// ShrinkBudget, when > 0, bounds the replays spent minimizing each
 	// violating schedule.
 	ShrinkBudget int
@@ -173,7 +176,11 @@ func Sweep(cfg SweepConfig) (*Summary, error) {
 		c := c
 		jobs[i] = runner.Job[Outcome]{Label: c.String(), Run: func() Outcome { return RunCase(c) }}
 	}
-	outcomes, err := runner.CollectCtx(ctx, runner.New(cfg.Workers), jobs)
+	pool := runner.New(cfg.Workers)
+	if cfg.Reporter != nil {
+		pool.SetReporter(cfg.Reporter)
+	}
+	outcomes, err := runner.CollectCtx(ctx, pool, jobs)
 	if err != nil && ctx.Err() == nil {
 		return nil, fmt.Errorf("torture: sweep: %w", err)
 	}
