@@ -38,7 +38,9 @@ import (
 	"syscall"
 	"time"
 
+	"asap/internal/experiment"
 	"asap/internal/report"
+	"asap/internal/resultcache"
 	"asap/internal/runner"
 	"asap/internal/stats"
 	"asap/internal/sweep"
@@ -61,6 +63,8 @@ type timingReport struct {
 	GOMAXPROCS     int                `json:"gomaxprocs"`
 	Scale          string             `json:"scale"`
 	Interrupted    bool               `json:"interrupted,omitempty"`
+	CacheHits      int64              `json:"cache_hits"`
+	CacheMisses    int64              `json:"cache_misses"`
 	WallNS         int64              `json:"wall_ns"`
 	TotalJobWallNS int64              `json:"total_job_wall_ns"`
 	Experiments    []experimentTiming `json:"experiments"`
@@ -75,6 +79,9 @@ func run() int {
 	parallel := flag.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	jsonPath := flag.String("json", "", "write per-experiment and per-job timings as JSON to this path")
 	progress := flag.Bool("progress", isTerminal(os.Stderr), "print a live progress line to stderr")
+	cacheDir := flag.String("cache-dir", "", "result-cache directory: cells keyed by (config, seed, code version) are reused across runs")
+	noCache := flag.Bool("no-cache", false, "bypass the result cache even when -cache-dir is set")
+	checkpointEvery := flag.Uint64("checkpoint-every", 0, "audit mode: capture machine-state digests every N cycles in every run (output-neutral)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this path")
 	flag.Parse()
@@ -114,6 +121,13 @@ func run() int {
 		pool.SetReporter(prog)
 	}
 
+	cache, codeVersion, err := resultcache.OpenCLI(os.Stderr, "asapbench", *cacheDir, *noCache)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asapbench: %v\n", err)
+		return 1
+	}
+	experiment.SetCheckpointEvery(*checkpointEvery)
+
 	scaleName := "quick"
 	if *full {
 		scaleName = "full"
@@ -133,7 +147,9 @@ func run() int {
 	failures := 0
 	start := time.Now()
 	results, execErr := sweep.Execute(ctx, spec, os.Stdout, sweep.Options{
-		Pool: pool,
+		Pool:        pool,
+		Cache:       cache,
+		CodeVersion: codeVersion,
 		OnExperiment: func(name string, wall time.Duration, err error) {
 			if err != nil {
 				failures++
@@ -149,6 +165,11 @@ func run() int {
 	}
 	if prog != nil {
 		prog.Finish()
+	}
+	if cache != nil {
+		hits, misses, _ := cache.Stats()
+		rep.CacheHits, rep.CacheMisses = hits, misses
+		fmt.Fprintf(os.Stderr, "asapbench: result cache: %d hits, %d misses (%s)\n", hits, misses, *cacheDir)
 	}
 
 	interrupted := ctx.Err() != nil

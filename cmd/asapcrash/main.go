@@ -20,6 +20,7 @@ import (
 	"asap/internal/crashtest"
 	"asap/internal/faults"
 	"asap/internal/report"
+	"asap/internal/resultcache"
 )
 
 // isTerminal reports whether f is a character device, gating the default
@@ -37,11 +38,14 @@ func main() {
 	workloads := flag.String("workloads", "", "comma-separated workloads (default: all of "+strings.Join(crashtest.Workloads(), ",")+")")
 	mixes := flag.String("mixes", "", "semicolon-separated fault mixes, e.g. 'none;torn=0.3;drop=0.2,flip=1' (default: built-in set)")
 	skipValidation := flag.Bool("skip-validation", false, "recover without the integrity pass (negative control: expect failures)")
+	snapshotEvery := flag.Uint64("snapshot-every", 0, "boundary-kill family: land every crash on the first checkpoint boundary at or after its crash point (0 = off)")
 	shrink := flag.Int("shrink", 32, "replay budget for minimizing each violation's fault set (0 = off)")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write the full JSON report to this file")
 	verbose := flag.Bool("v", false, "print every non-clean outcome")
 	progress := flag.Bool("progress", isTerminal(os.Stderr), "print a live progress line to stderr")
+	cacheDir := flag.String("cache-dir", "", "result-cache directory: case outcomes keyed by (case, code version) are reused across sweeps")
+	noCache := flag.Bool("no-cache", false, "bypass the result cache even when -cache-dir is set")
 	flag.Parse()
 
 	cfg := crashtest.SweepConfig{
@@ -52,6 +56,7 @@ func main() {
 		Workers:        *workers,
 		SkipValidation: *skipValidation,
 		ShrinkBudget:   *shrink,
+		SnapshotEvery:  *snapshotEvery,
 	}
 	if *workloads != "" {
 		cfg.Workloads = strings.Split(*workloads, ",")
@@ -66,6 +71,13 @@ func main() {
 			cfg.Mixes = append(cfg.Mixes, mix)
 		}
 	}
+
+	cache, codeVersion, err := resultcache.OpenCLI(os.Stderr, "asapcrash", *cacheDir, *noCache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.Cache, cfg.CodeVersion = cache, codeVersion
 
 	// SIGINT/SIGTERM cancel the sweep: cases already dispatched finish,
 	// the partial report is still written, and the exit status is 130.
@@ -82,6 +94,10 @@ func main() {
 	sum, err := crashtest.Sweep(cfg)
 	if prog != nil {
 		prog.Finish()
+	}
+	if cache != nil {
+		hits, misses, _ := cache.Stats()
+		fmt.Fprintf(os.Stderr, "asapcrash: result cache: %d hits, %d misses (%s)\n", hits, misses, *cacheDir)
 	}
 	if sum == nil {
 		fmt.Fprintln(os.Stderr, err)

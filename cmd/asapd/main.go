@@ -37,11 +37,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"asap/internal/queue"
 	"asap/internal/report"
+	"asap/internal/resultcache"
 	"asap/internal/runner"
 	"asap/internal/sweep"
 )
@@ -58,6 +60,8 @@ func run() int {
 	backoffCap := flag.Duration("backoff-cap", 30*time.Second, "retry backoff ceiling")
 	drainGrace := flag.Duration("drain-grace", time.Minute, "how long a drain waits for in-flight jobs before checkpointing them")
 	volatileFlag := flag.Bool("volatile", false, "disable the journal (no crash safety; for the fault campaign's negative control)")
+	cacheDir := flag.String("cache-dir", "", "result-cache directory (default: <dir>/resultcache)")
+	noCache := flag.Bool("no-cache", false, "run sweeps without the result cache")
 	campaign := flag.Int("campaign", 0, "run N seeded kill/restart fault-campaign cases instead of serving")
 	seed := flag.Int64("seed", 1, "fault campaign seed")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
@@ -75,6 +79,19 @@ func run() int {
 		return runCampaign(*campaign, *seed, *volatileFlag)
 	}
 
+	// The result cache lives beside the artifact store by default: both
+	// share the temp+fsync+rename discipline, and a redelivered or
+	// resubmitted sweep re-renders from cached cells instead of
+	// resimulating.
+	if *cacheDir == "" {
+		*cacheDir = filepath.Join(*dir, "resultcache")
+	}
+	cache, codeVersion, err := resultcache.OpenCLI(os.Stderr, "asapd", *cacheDir, *noCache)
+	if err != nil {
+		logger.Error("result cache open failed", "dir", *cacheDir, "error", err)
+		return 1
+	}
+
 	cfg := queue.Config{
 		Dir:     *dir,
 		Workers: *workers,
@@ -84,7 +101,7 @@ func run() int {
 			BackoffBase:   *backoffBase,
 			BackoffCap:    *backoffCap,
 		},
-		Exec:              sweepExec,
+		Exec:              newSweepExec(cache, codeVersion),
 		Validate:          validateSpec,
 		Volatile:          *volatileFlag,
 		Logger:            logger,
@@ -94,6 +111,15 @@ func run() int {
 	if err != nil {
 		logger.Error("open failed", "error", err)
 		return 1
+	}
+	if cache != nil {
+		d.Metrics.GaugeFunc("asapd_resultcache_hits",
+			"Result-cache hits (cells re-rendered without simulation) since start.",
+			func() float64 { h, _, _ := cache.Stats(); return float64(h) })
+		d.Metrics.GaugeFunc("asapd_resultcache_misses",
+			"Result-cache misses (cells simulated) since start.",
+			func() float64 { _, m, _ := cache.Stats(); return float64(m) })
+		logger.Info("result cache open", "dir", *cacheDir, "code_version", codeVersion)
 	}
 	if d.Recovered.Jobs > 0 || d.JournalRep.TornBytes > 0 {
 		logger.Info("recovered",
@@ -166,15 +192,25 @@ func validateSpec(raw json.RawMessage) error {
 	return spec.Validate()
 }
 
-// sweepExec runs one journaled job through the same renderer the CLI
-// uses. Each finished experiment heartbeats the lease, so a long sweep
-// making real progress outlives the lease timeout while a stalled one is
-// still redelivered. Case completions stream to the daemon's per-job
-// progress hub, and — when a manifest collector is attached — an
-// instrumented representative run contributes profile/timeline/series
-// artifacts. Neither channel touches the result bytes: output
-// neutrality is test-enforced against the direct sweep.Execute path.
-func sweepExec(ctx context.Context, raw json.RawMessage) ([]byte, error) {
+// newSweepExec builds the job executor: it runs one journaled job
+// through the same renderer the CLI uses, consulting the shared result
+// cache when one is open (cached cells re-render without simulating;
+// output bytes are identical either way). Each finished experiment
+// heartbeats the lease, so a long sweep making real progress outlives
+// the lease timeout while a stalled one is still redelivered. Case
+// completions — cached and computed counted separately — stream to the
+// daemon's per-job progress hub, and — when a manifest collector is
+// attached — an instrumented representative run contributes
+// profile/timeline/series artifacts. None of these channels touch the
+// result bytes: output neutrality is test-enforced against the direct
+// sweep.Execute path.
+func newSweepExec(cache *resultcache.Store, codeVersion string) queue.Executor {
+	return func(ctx context.Context, raw json.RawMessage) ([]byte, error) {
+		return sweepExec(ctx, raw, cache, codeVersion)
+	}
+}
+
+func sweepExec(ctx context.Context, raw json.RawMessage, cache *resultcache.Store, codeVersion string) ([]byte, error) {
 	var spec sweep.Spec
 	if err := json.Unmarshal(raw, &spec); err != nil {
 		return nil, err
@@ -186,6 +222,8 @@ func sweepExec(ctx context.Context, raw json.RawMessage) ([]byte, error) {
 	var out bytes.Buffer
 	results, err := sweep.Execute(ctx, spec, &out, sweep.Options{
 		Pool:         pool,
+		Cache:        cache,
+		CodeVersion:  codeVersion,
 		OnExperiment: func(string, time.Duration, error) { queue.Heartbeat(ctx) },
 	})
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 
 	"asap/internal/queue"
 	"asap/internal/report"
+	"asap/internal/resultcache"
 	"asap/internal/sweep"
 )
 
@@ -19,7 +20,7 @@ import (
 func TestSweepExecMatchesCLIBytes(t *testing.T) {
 	raw := json.RawMessage(`{"experiments":["config","area"],"scale":"quick"}`)
 
-	got, err := sweepExec(context.Background(), raw)
+	got, err := sweepExec(context.Background(), raw, nil, "")
 	if err != nil {
 		t.Fatalf("sweepExec: %v", err)
 	}
@@ -46,11 +47,11 @@ func TestSweepExecMatchesCLIBytes(t *testing.T) {
 // content address.
 func TestSweepExecDeterministic(t *testing.T) {
 	raw := json.RawMessage(`{"experiments":["config"],"scale":"quick"}`)
-	a, err := sweepExec(context.Background(), raw)
+	a, err := sweepExec(context.Background(), raw, nil, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := sweepExec(context.Background(), raw)
+	b, err := sweepExec(context.Background(), raw, nil, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestSweepExecDeterministic(t *testing.T) {
 func TestSweepExecOutputNeutralUnderObservation(t *testing.T) {
 	raw := json.RawMessage(`{"experiments":["fig8"],"scale":"quick"}`)
 
-	bare, err := sweepExec(context.Background(), raw)
+	bare, err := sweepExec(context.Background(), raw, nil, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestSweepExecOutputNeutralUnderObservation(t *testing.T) {
 		mu.Unlock()
 	})
 
-	observed, err := sweepExec(ctx, raw)
+	observed, err := sweepExec(ctx, raw, nil, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,5 +163,33 @@ func TestValidateSpec(t *testing.T) {
 		if err := validateSpec(json.RawMessage(bad)); err == nil {
 			t.Errorf("validateSpec(%s): accepted", bad)
 		}
+	}
+}
+
+// TestSweepExecWarmCacheBytesIdentical: a second submission of the same
+// spec against the daemon's result cache must be served from cache (every
+// cell a hit) with byte-identical output — the redelivery/resubmission
+// fast path.
+func TestSweepExecWarmCacheBytesIdentical(t *testing.T) {
+	t.Setenv(resultcache.CodeVersionEnv, "asapd-test")
+	store, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := json.RawMessage(`{"experiments":["fig1"],"scale":"quick"}`)
+	cold, err := sweepExec(context.Background(), raw, store, "asapd-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sweepExec(context.Background(), raw, store, "asapd-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("warm submission bytes differ from cold")
+	}
+	hits, misses, _ := store.Stats()
+	if hits == 0 || hits != misses {
+		t.Fatalf("warm submission not fully served from cache: hits=%d misses=%d", hits, misses)
 	}
 }

@@ -29,6 +29,7 @@ import (
 
 	"asap/internal/experiment"
 	"asap/internal/obs"
+	"asap/internal/snapshot"
 	"asap/internal/trace"
 	"asap/internal/workload"
 )
@@ -53,6 +54,10 @@ func run() int {
 	seriesInterval := flag.Uint64("series-interval", 1000, "time-series sampling interval in cycles")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this path")
+	seed := flag.Int64("seed", 0, "workload RNG seed (0 = default 42)")
+	checkpointEvery := flag.Uint64("checkpoint-every", 0, "take a state snapshot every N cycles (0 = off)")
+	checkpointFile := flag.String("checkpoint-file", "", "write the last snapshot to this path (requires -checkpoint-every)")
+	resumeFrom := flag.String("resume-from", "", "resume: replay to the snapshot at this path, verify digests, continue (requires -checkpoint-every matching the original run)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -119,13 +124,52 @@ func run() int {
 		sess = &obs.Session{Prof: prof, Rec: rec}
 	}
 
-	res := experiment.Run(experiment.Variant{
+	v := experiment.Variant{
 		Scheme: *scheme,
 		PMMult: *pmmult,
 		LHWPQ:  *lhwpq,
+		Seed:   *seed,
 		Trace:  buf,
 		Obs:    sess,
-	}, *bench, scale, *value)
+	}
+
+	var res workload.Result
+	switch {
+	case *resumeFrom != "":
+		from, err := snapshot.ReadFile(*resumeFrom)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asapsim: %v\n", err)
+			return 1
+		}
+		res, err = experiment.RunResumed(v, *bench, scale, *value, *checkpointEvery, from)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asapsim: %v\n", err)
+			return 1
+		}
+		fmt.Printf("resumed     from cycle %d (digests verified)\n", from.Cycle)
+	case *checkpointEvery > 0:
+		var snaps []snapshot.Snap
+		res, snaps = experiment.RunCheckpointed(v, *bench, scale, *value, *checkpointEvery)
+		fmt.Printf("checkpoints %d (every %d cycles)\n", len(snaps), *checkpointEvery)
+		if *checkpointFile != "" {
+			if len(snaps) == 0 {
+				fmt.Fprintf(os.Stderr, "asapsim: run too short for a checkpoint every %d cycles\n", *checkpointEvery)
+				return 1
+			}
+			last := snaps[len(snaps)-1]
+			if err := snapshot.WriteFile(*checkpointFile, last); err != nil {
+				fmt.Fprintf(os.Stderr, "asapsim: %v\n", err)
+				return 1
+			}
+			fmt.Printf("snapshot    cycle %d -> %s\n", last.Cycle, *checkpointFile)
+		}
+	default:
+		if *checkpointFile != "" {
+			fmt.Fprintln(os.Stderr, "asapsim: -checkpoint-file requires -checkpoint-every")
+			return 2
+		}
+		res = experiment.Run(v, *bench, scale, *value)
+	}
 
 	fmt.Printf("benchmark   %s\n", res.Benchmark)
 	fmt.Printf("scheme      %s\n", res.Scheme)

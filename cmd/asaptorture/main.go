@@ -23,6 +23,7 @@ import (
 
 	"asap/internal/faults"
 	"asap/internal/report"
+	"asap/internal/resultcache"
 	"asap/internal/torture"
 )
 
@@ -48,6 +49,8 @@ func main() {
 	jsonPath := flag.String("json", "", "write the full JSON report to this file")
 	verbose := flag.Bool("v", false, "print every non-pass outcome")
 	progress := flag.Bool("progress", isTerminal(os.Stderr), "print a live progress line to stderr")
+	cacheDir := flag.String("cache-dir", "", "result-cache directory: case outcomes keyed by (case, code version) are reused across sweeps")
+	noCache := flag.Bool("no-cache", false, "bypass the result cache even when -cache-dir is set")
 	flag.Parse()
 
 	baseSeed := *seed
@@ -78,6 +81,12 @@ func main() {
 	if *presets != "" {
 		cfg.Presets = strings.Split(*presets, ",")
 	}
+	cache, codeVersion, err := resultcache.OpenCLI(os.Stderr, "asaptorture", *cacheDir, *noCache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.Cache, cfg.CodeVersion = cache, codeVersion
 	if *mix != "" {
 		m, err := faults.ParseMix(*mix)
 		if err != nil {
@@ -102,6 +111,10 @@ func main() {
 	sum, err := torture.Sweep(cfg)
 	if prog != nil {
 		prog.Finish()
+	}
+	if cache != nil {
+		hits, misses, _ := cache.Stats()
+		fmt.Fprintf(os.Stderr, "asaptorture: result cache: %d hits, %d misses (%s)\n", hits, misses, *cacheDir)
 	}
 	if sum == nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"sort"
+
+	"asap/internal/arch"
+	"asap/internal/snapshot"
+)
+
+// AppendState digests the persistence engine's scheme-visible state
+// through the read-only inspect surface: live region bookkeeping, the
+// dependence graph, LPOs in flight, and the spilled OwnerRID buffer.
+// Everything here is already exposed in deterministic order (RID order,
+// sorted dep lists, ascending spill lines), so the digest is stable by
+// the same argument the invariant engine relies on.
+//
+// This file is the audit-digest side of checkpointing; the gob-based
+// crash-state serialization in snapshot.go is a different mechanism with
+// different consumers (crash recovery) and stays separate.
+func (e *Engine) AppendState(enc *snapshot.Enc) {
+	enc.Section("scheme")
+	regions := e.LiveRegions()
+	enc.I64(int64(len(regions)))
+	for _, r := range regions {
+		enc.U64(uint64(r.RID))
+		enc.I64(int64(r.Thread))
+		enc.Bool(r.Ended)
+		enc.Bool(r.CLResident)
+		enc.I64(int64(r.CLSlots))
+		enc.Bool(r.OpenRecord)
+		enc.U64(uint64(r.OpenHeaderAddr))
+		enc.U64(r.LogEnd)
+		enc.I64(int64(r.LogEpoch))
+	}
+
+	g := e.DepGraphLive()
+	rids := make([]arch.RID, 0, len(g))
+	for rid := range g {
+		rids = append(rids, rid)
+	}
+	sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
+	enc.I64(int64(len(rids)))
+	for _, rid := range rids {
+		enc.U64(uint64(rid))
+		deps := g[rid]
+		enc.I64(int64(len(deps)))
+		for _, d := range deps {
+			enc.U64(uint64(d))
+		}
+	}
+
+	enc.I64(int64(e.LPOsInFlight()))
+	spills := 0
+	e.OwnerSpills(func(arch.LineAddr, arch.RID) { spills++ })
+	enc.I64(int64(spills))
+	e.OwnerSpills(func(line arch.LineAddr, owner arch.RID) {
+		enc.U64(uint64(line))
+		enc.U64(uint64(owner))
+	})
+}

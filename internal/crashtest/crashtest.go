@@ -26,6 +26,7 @@ import (
 	"asap/internal/faults"
 	"asap/internal/machine"
 	"asap/internal/recovery"
+	"asap/internal/snapshot"
 	"asap/internal/workload"
 )
 
@@ -46,10 +47,21 @@ type Case struct {
 	// Replay, when non-nil, inflicts exactly these fault events instead of
 	// drawing from Mix: the shrinking mode.
 	Replay []faults.Event `json:"replay,omitempty"`
+	// SnapshotEvery, when non-zero, moves the power failure to the first
+	// checkpoint boundary at or after CrashAt: the machine digests its
+	// state every SnapshotEvery cycles and the kill lands exactly on a
+	// boundary — the moment a checkpointer would be publishing a snapshot.
+	// Recovery still goes through the same public path; the family proves
+	// a boundary is not a privileged instant.
+	SnapshotEvery uint64 `json:"snapshot_every,omitempty"`
 }
 
 func (c Case) String() string {
-	return fmt.Sprintf("%s crash@%d seed %d mix %s", c.Workload, c.CrashAt, c.Seed, c.Mix)
+	s := fmt.Sprintf("%s crash@%d seed %d mix %s", c.Workload, c.CrashAt, c.Seed, c.Mix)
+	if c.SnapshotEvery > 0 {
+		s += fmt.Sprintf(" snap@%d", c.SnapshotEvery)
+	}
+	return s
 }
 
 // Verdict classifies a case's outcome.
@@ -144,9 +156,34 @@ func RunCase(c Case) Outcome {
 		inj.SetScope(e.UncommittedRIDs())
 		cs = e.Crash()
 	}
-	wcfg := workloadConfig(c.Seed, func(start uint64) {
-		m.K.Schedule(start+c.CrashAt, crash)
-	})
+	var wcfg workload.Config
+	if c.SnapshotEvery > 0 {
+		// Boundary-kill family: the crash fires from the checkpointer's
+		// own boundary callback, after the state digest is taken — the
+		// worst-case instant for a checkpoint publisher.
+		var measuredStart uint64
+		started := false
+		ck := &machine.Checkpointer{
+			M: m, Scheme: e,
+			Identity: c.String(), Seed: c.Seed,
+			Every: c.SnapshotEvery,
+			OnBoundary: func(s snapshot.Snap) bool {
+				if !started || s.Cycle < measuredStart+c.CrashAt {
+					return true
+				}
+				crash()
+				return false
+			},
+		}
+		ck.Arm()
+		wcfg = workloadConfig(c.Seed, func(start uint64) {
+			measuredStart, started = start, true
+		})
+	} else {
+		wcfg = workloadConfig(c.Seed, func(start uint64) {
+			m.K.Schedule(start+c.CrashAt, crash)
+		})
+	}
 	func() {
 		defer func() { _ = recover() }() // a halt mid-run may strand the driver
 		workload.Run(env, run.bench(), wcfg)

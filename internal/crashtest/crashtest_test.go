@@ -265,3 +265,24 @@ func TestSweepCancelledReturnsPartialSummary(t *testing.T) {
 		t.Fatalf("cancelled sweep still ran all %d cases", sum.Total)
 	}
 }
+
+// TestSnapshotBoundaryKillsAreConsistent is the boundary-kill family:
+// crashes landing exactly on checkpoint boundaries (the instant a
+// checkpointer publishes a snapshot) must be as recoverable as any other
+// instant — clean without faults, never a violation with them.
+func TestSnapshotBoundaryKillsAreConsistent(t *testing.T) {
+	for _, w := range Workloads() {
+		o := RunCase(Case{Workload: w, CrashAt: 3_000, Seed: 11, SnapshotEvery: 2_000})
+		if o.Verdict != VerdictClean {
+			t.Errorf("%s boundary kill without faults: want clean, got %s: %s", w, o.Verdict, o.Detail)
+		}
+	}
+	mix := faults.Mix{TornPct: 0.2, DropPct: 0.2, BitFlips: 1}
+	for i := int64(0); i < 4; i++ {
+		c := Case{Workload: "queue", CrashAt: 2_500 + uint64(i)*1_700, Seed: i, Mix: mix, SnapshotEvery: 1_000}
+		o := RunCase(c)
+		if o.Verdict == VerdictViolation || o.Verdict == VerdictError {
+			t.Errorf("%s: %s: %s (faults: %v)", c, o.Verdict, o.Detail, o.Faults)
+		}
+	}
+}

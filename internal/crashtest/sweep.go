@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"asap/internal/faults"
+	"asap/internal/resultcache"
 	"asap/internal/runner"
 )
 
@@ -31,9 +32,19 @@ type SweepConfig struct {
 	Reporter runner.Reporter
 	// SkipValidation runs every case without recovery's integrity pass.
 	SkipValidation bool
+	// SnapshotEvery, when non-zero, makes every case a boundary-kill: the
+	// crash lands on the first checkpoint boundary at or after the drawn
+	// crash point (see Case.SnapshotEvery).
+	SnapshotEvery uint64
 	// ShrinkBudget, when > 0, bounds the replays spent minimizing each
 	// violation's fault set.
 	ShrinkBudget int
+	// Cache, when non-nil (and CodeVersion non-empty), memoizes case
+	// outcomes across sweeps keyed by the case's canonical encoding and
+	// the code version. Shrunk fault sets are never cached — shrinking
+	// reruns post-cache so the budget always applies to this sweep.
+	Cache       *resultcache.Store
+	CodeVersion string
 	// Context, when non-nil, lets the caller cancel the sweep: cases
 	// already dispatched finish, nothing further starts, and Sweep
 	// returns the partial summary alongside the context's error. Signal
@@ -120,6 +131,7 @@ func (cfg SweepConfig) Cases() ([]Case, error) {
 					Seed:           cfg.Seed + int64(len(cases))*7919,
 					Mix:            mix,
 					SkipValidation: cfg.SkipValidation,
+					SnapshotEvery:  cfg.SnapshotEvery,
 				})
 			}
 		}
@@ -146,6 +158,11 @@ func Sweep(cfg SweepConfig) (*Summary, error) {
 	for i, c := range cases {
 		c := c
 		jobs[i] = runner.Job[Outcome]{Label: c.String(), Run: func() Outcome { return RunCase(c) }}
+		if cfg.Cache != nil && cfg.CodeVersion != "" {
+			if key, err := resultcache.CaseKey("crashcase.v1", c, cfg.CodeVersion); err == nil {
+				jobs[i].Cached, jobs[i].Store = resultcache.MemoJSON[Outcome](cfg.Cache, key)
+			}
+		}
 	}
 	pool := runner.New(cfg.Workers)
 	if cfg.Reporter != nil {

@@ -15,6 +15,7 @@ import (
 	"asap/internal/obs"
 	"asap/internal/report"
 	"asap/internal/schemes"
+	"asap/internal/snapshot"
 	"asap/internal/trace"
 	"asap/internal/workload"
 )
@@ -45,9 +46,12 @@ func BenchNames() []string {
 
 // Variant selects a system build for one run.
 type Variant struct {
-	Scheme   string // NP, SW, SW-DPOOnly, HWUndo, HWRedo, ASAP, ASAP-Redo
-	PMMult   int    // PM latency multiplier (0 -> 1)
-	LHWPQ    int    // LH-WPQ entries per channel (0 -> default 128)
+	Scheme string // NP, SW, SW-DPOOnly, HWUndo, HWRedo, ASAP, ASAP-Redo
+	PMMult int    // PM latency multiplier (0 -> 1)
+	LHWPQ  int    // LH-WPQ entries per channel (0 -> default 128)
+	// Seed overrides the workload RNG seed (0 -> the standard 42). It is
+	// a cache-key axis; the snapshot equivalence tests randomize it.
+	Seed     int64
 	ASAPOpts *core.Options
 	// Trace, when non-nil, attaches a protocol event buffer (ASAP only).
 	Trace *trace.Buffer
@@ -58,6 +62,14 @@ type Variant struct {
 	Obs *obs.Session
 }
 
+// seed resolves the variant's workload seed.
+func (v Variant) seed() int64 {
+	if v.Seed != 0 {
+		return v.Seed
+	}
+	return 42
+}
+
 // issueDelayOverride lets calibration tests sweep the WPQ issue delay.
 var issueDelayOverride uint64
 
@@ -65,8 +77,21 @@ var issueDelayOverride uint64
 var truncOverride uint64
 
 // Run executes one benchmark under one variant at the given scale and
-// value size, on a fresh machine.
+// value size, on a fresh machine. When SetCheckpointEvery has armed audit
+// mode, the run carries a checkpointer whose boundary digests are recorded
+// and discarded — scheduling-neutral, so output is unchanged (enforced by
+// TestCheckpointingIsOutputNeutral).
 func Run(v Variant, bench string, scale Scale, valueBytes int) workload.Result {
+	res, _ := runWithCheckpointer(v, bench, scale, valueBytes, checkpointEvery, nil)
+	return res
+}
+
+// runWithCheckpointer is Run's full-control form: a non-zero every attaches
+// a machine.Checkpointer (returned so callers can read its Snaps), and
+// onBoundary, when non-nil, decides at each boundary whether to continue
+// (false halts the kernel at the boundary — partial state, no Check run).
+func runWithCheckpointer(v Variant, bench string, scale Scale, valueBytes int,
+	every uint64, onBoundary func(snapshot.Snap) bool) (workload.Result, *machine.Checkpointer) {
 	mc := machine.DefaultConfig()
 	if issueDelayOverride > 0 {
 		mc.Mem.IssueDelayCycles = issueDelayOverride
@@ -132,9 +157,31 @@ func Run(v Variant, bench string, scale Scale, valueBytes int) workload.Result {
 		InitialItems: scale.InitialItems,
 		Threads:      scale.Threads,
 		OpsPerThread: scale.OpsPerThread,
-		Seed:         42,
+		Seed:         v.seed(),
 	}
+
+	var ck *machine.Checkpointer
+	if every > 0 {
+		ck = &machine.Checkpointer{
+			M:          m,
+			Identity:   runIdentity(v, bench, scale, valueBytes),
+			Seed:       v.seed(),
+			Every:      every,
+			OnBoundary: onBoundary,
+		}
+		if sa, ok := s.(machine.StateAppender); ok {
+			ck.Scheme = sa
+		}
+		ck.Arm()
+	}
+
 	res := workload.Run(&workload.Env{M: m, S: s}, b, cfg)
+	if m.K.Halted() {
+		// A boundary callback stopped the run (resume replay or crash
+		// injection): the result is intentionally partial, and the
+		// benchmark's Check never ran.
+		return res, ck
+	}
 	if res.Stall != nil {
 		// Panic with the error value itself: runner.Collect wraps worker
 		// panics in a *PanicError whose Unwrap exposes it, so callers can
@@ -145,7 +192,7 @@ func Run(v Variant, bench string, scale Scale, valueBytes int) workload.Result {
 		panic(fmt.Sprintf("experiment: %s under %s left inconsistent state: %s",
 			bench, v.Scheme, res.CheckErr))
 	}
-	return res
+	return res, ck
 }
 
 // Table is a figure's data: one row per benchmark (plus GeoMean), one

@@ -2,9 +2,11 @@ package experiment
 
 import (
 	"fmt"
+	"strings"
 
 	"asap/internal/core"
 	"asap/internal/machine"
+	"asap/internal/resultcache"
 	"asap/internal/runner"
 	"asap/internal/schemes"
 	"asap/internal/stats"
@@ -135,6 +137,29 @@ func CoRunning(scale Scale) *Table {
 			Label: "corun/" + v.name,
 			Run:   func() workload.MultiResult { return runMulti(v.v, mix, scale) },
 		}
+		if c := cellCache; c != nil {
+			key := resultcache.NewKey().
+				Field("kind", "corun.v1").
+				Field("variant", v.name).
+				Field("mix", strings.Join(mix, ",")).
+				Fieldf("threads", "%d", scale.Threads).
+				Fieldf("ops", "%d", scale.OpsPerThread).
+				Fieldf("items", "%d", scale.InitialItems).
+				Field("codeversion", cacheCodeVersion).
+				Sum()
+			jobs[i].Cached = func() (workload.MultiResult, bool) {
+				blob, ok := c.Get(key)
+				if !ok {
+					return workload.MultiResult{}, false
+				}
+				return decodeMulti(blob)
+			}
+			jobs[i].Store = func(r workload.MultiResult) {
+				if blob, ok := encodeMulti(r); ok {
+					c.Put(key, blob)
+				}
+			}
+		}
 	}
 	res, err := runner.Collect(pool, jobs)
 	if err != nil {
@@ -209,6 +234,14 @@ func FenceSweep(scale Scale) *Table {
 		p := p
 		specs = append(specs, runSpec{
 			label: fmt.Sprintf("Q/period=%d", p),
+			// The closure's only inputs beyond the fixed fences.v1 recipe
+			// are the fence period, the scale, and the seed.
+			cacheKey: resultcache.NewKey().
+				Field("kind", "fences.v1").
+				Fieldf("period", "%d", p).
+				Fieldf("threads", "%d", scale.Threads).
+				Fieldf("ops", "%d", scale.OpsPerThread).
+				Fieldf("items", "%d", scale.InitialItems),
 			custom: func() workload.Result {
 				// Moderate PM pressure (4x) so commits lag region ends and a fence
 				// genuinely waits, without saturating the WPQ outright. (Under a
@@ -352,6 +385,13 @@ func NUMA(scale Scale) *Table {
 			s, penalty := s, penalty
 			specs = append(specs, runSpec{
 				label: fmt.Sprintf("Q/%s+%d", s, penalty),
+				cacheKey: resultcache.NewKey().
+					Field("kind", "numa.v1").
+					Field("scheme", s).
+					Fieldf("penalty", "%d", penalty).
+					Fieldf("threads", "%d", scale.Threads).
+					Fieldf("ops", "%d", scale.OpsPerThread).
+					Fieldf("items", "%d", scale.InitialItems),
 				custom: func() workload.Result {
 					mc := machine.DefaultConfig()
 					mc.Mem.NUMARemotePenalty = penalty

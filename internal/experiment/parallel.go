@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"asap/internal/resultcache"
 	"asap/internal/runner"
 	"asap/internal/workload"
 )
@@ -63,6 +64,11 @@ type runSpec struct {
 	label string
 	// custom, when non-nil, replaces the standard Run call.
 	custom func() workload.Result
+	// cacheKey makes a custom run cacheable: it must encode every input
+	// the closure bakes in (machine config deltas, workload knobs, seed).
+	// Standard runs derive their key automatically; a custom run with a
+	// nil cacheKey always executes.
+	cacheKey *resultcache.Key
 }
 
 // runAll fans specs across the pool and returns results in spec order.
@@ -85,6 +91,9 @@ func runAll(figure string, specs []runSpec) []workload.Result {
 			run = func() workload.Result { return Run(s.v, s.bench, s.scale, s.valueBytes) }
 		}
 		jobs[i] = runner.Job[workload.Result]{Label: label, Run: run}
+		if key, ok := s.cacheProbe(); ok {
+			memoizeResult(key, &jobs[i].Cached, &jobs[i].Store)
+		}
 	}
 	out, err := runner.CollectCtx(runCtx, pool, jobs)
 	if err != nil {

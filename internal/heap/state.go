@@ -1,0 +1,53 @@
+package heap
+
+import (
+	"sort"
+
+	"asap/internal/snapshot"
+)
+
+// AppendState digests the heap: allocator cursors, both page windows
+// (lazily-allocated pages encode presence explicitly so a touched-but-zero
+// page differs from an untouched one), and the allocation bookkeeping maps
+// in sorted key order — map iteration order must never reach a digest.
+func (h *Heap) AppendState(e *snapshot.Enc) {
+	e.Section("heap")
+	e.U64(h.nextPersistent)
+	e.U64(h.nextVolatile)
+	e.I64(int64(h.npages))
+	for _, window := range [][][]byte{h.persistentPages, h.volatilePages} {
+		e.I64(int64(len(window)))
+		for _, pg := range window {
+			e.Bool(pg != nil)
+			if pg != nil {
+				e.Bytes(pg)
+			}
+		}
+	}
+
+	addrs := make([]uint64, 0, len(h.sizes))
+	for a := range h.sizes {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	e.I64(int64(len(addrs)))
+	for _, a := range addrs {
+		e.U64(a)
+		e.U64(h.sizes[a])
+	}
+
+	classes := make([]uint64, 0, len(h.freeLists))
+	for c := range h.freeLists {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	e.I64(int64(len(classes)))
+	for _, c := range classes {
+		e.U64(c)
+		fl := h.freeLists[c]
+		e.I64(int64(len(fl)))
+		for _, a := range fl {
+			e.U64(a)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package machine
+
+import (
+	"asap/internal/snapshot"
+)
+
+// StateAppender is anything that can contribute sections to a snapshot
+// digest. Persistence schemes implement it to have their bookkeeping
+// audited at checkpoint boundaries; schemes that don't are simply not
+// digested (their effects still show up through cache/mem/stats state).
+type StateAppender interface {
+	AppendState(*snapshot.Enc)
+}
+
+// AppendState digests every machine component in a fixed order: kernel,
+// caches, memory system, heap, stats. Must be called from kernel context
+// (an event callback), when no simulated thread is mid-step.
+func (m *Machine) AppendState(e *snapshot.Enc) {
+	m.K.AppendState(e)
+	m.Caches.AppendState(e)
+	m.Fabric.AppendState(e)
+	m.Heap.AppendState(e)
+	m.St.AppendState(e)
+}
+
+// Checkpointer takes periodic consistent cuts of a running machine. It
+// schedules a boundary event every Every cycles; each boundary digests the
+// machine (and the scheme, if it implements StateAppender) into a
+// snapshot.Snap and hands it to OnBoundary. OnBoundary returning false
+// halts the kernel at the boundary — that is how resume-by-replay stops a
+// replayed run exactly at its checkpoint cycle, and how crash injection
+// kills a run at a snapshot boundary.
+//
+// Boundary events are scheduling-neutral: an event at cycle B fires only
+// once every runnable candidate's effective time is ≥ B, so advancing the
+// kernel clock to B changes no subsequent scheduling comparison (the PR4
+// boundary-neutrality argument). The one hazard is termination: events
+// keep Run alive even with no threads, so the checkpointer stops
+// rescheduling once the kernel has no live threads.
+type Checkpointer struct {
+	M      *Machine
+	Scheme StateAppender // optional scheme digest
+	// Identity names the run (canonical config encoding); Seed is the
+	// workload seed. Both are stamped into every Snap so snapshots from
+	// different runs can never be confused for one another.
+	Identity string
+	Seed     int64
+	// Every is the boundary period in cycles; zero disables Arm.
+	Every uint64
+	// OnBoundary receives each snapshot; returning false halts the run.
+	// A nil OnBoundary records snapshots without intervening.
+	OnBoundary func(snapshot.Snap) bool
+
+	// Snaps accumulates every boundary snapshot taken, in cycle order.
+	Snaps []snapshot.Snap
+}
+
+// Arm schedules the first boundary at the next multiple of Every strictly
+// after the kernel's current time. Call before Kernel.Run.
+func (c *Checkpointer) Arm() {
+	if c == nil || c.Every == 0 {
+		return
+	}
+	c.schedule(c.next(c.M.K.Now()))
+}
+
+// next returns the first multiple of Every strictly after now.
+func (c *Checkpointer) next(now uint64) uint64 {
+	return (now/c.Every + 1) * c.Every
+}
+
+func (c *Checkpointer) schedule(at uint64) {
+	c.M.K.Schedule(at, func() {
+		snap := c.take()
+		c.Snaps = append(c.Snaps, snap)
+		if c.OnBoundary != nil && !c.OnBoundary(snap) {
+			c.M.K.Halt()
+			return
+		}
+		// Stop once the workload has wound down: with no live threads a
+		// pending event would keep Run spinning forever.
+		if c.M.K.LiveThreads() == 0 {
+			return
+		}
+		c.schedule(c.next(c.M.K.Now()))
+	})
+}
+
+// take digests the machine right now. Must run in kernel context; the
+// boundary event guarantees that for scheduled checkpoints.
+func (c *Checkpointer) take() snapshot.Snap {
+	e := snapshot.NewEnc()
+	c.M.AppendState(e)
+	if c.Scheme != nil {
+		c.Scheme.AppendState(e)
+	}
+	return snapshot.Snap{
+		Version:  snapshot.FormatVersion,
+		Identity: c.Identity,
+		Seed:     c.Seed,
+		Cycle:    c.M.K.Now(),
+		Sections: e.Sections(),
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"asap/internal/metrics"
+	"asap/internal/resultcache"
 )
 
 // Store is a content-addressed artifact store: objects live at
@@ -35,9 +36,15 @@ func (s *Store) setMetrics(puts, dedup, bytes *metrics.Counter) {
 // ErrBadHash rejects malformed or path-escaping artifact addresses.
 var ErrBadHash = errors.New("queue: malformed artifact hash")
 
-// OpenStore creates (if needed) and opens the object store rooted at dir.
+// OpenStore creates (if needed) and opens the object store rooted at
+// dir. Temp files orphaned by a kill -9 mid-Put (written but never
+// renamed into place) are swept on open — they are invisible to every
+// reader and would otherwise accumulate forever.
 func OpenStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, err
+	}
+	if err := resultcache.SweepOrphans(filepath.Join(dir, "objects")); err != nil {
 		return nil, err
 	}
 	return &Store{dir: dir}, nil

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -82,6 +83,46 @@ func TestStoreNoTempLitterAfterPut(t *testing.T) {
 	}
 	if len(litter) != 0 {
 		t.Fatalf("temp files left behind: %v", litter)
+	}
+}
+
+// TestOpenStoreSweepsOrphanTmpFiles: temp files stranded by a kill -9
+// between CreateTemp and Rename are removed by the next OpenStore, and
+// real objects survive the sweep.
+func TestOpenStoreSweepsOrphanTmpFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := st.Put([]byte("real artifact"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	objPath, err := st.Path(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphans := []string{
+		filepath.Join(dir, "objects", ".tmp-1234"),
+		filepath.Join(filepath.Dir(objPath), ".tmp-5678"),
+	}
+	for _, p := range orphans {
+		if err := os.WriteFile(p, []byte("half-written"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range orphans {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("orphan %s survived reopen (stat err %v)", p, err)
+		}
+	}
+	if got, err := st2.Get(hash); err != nil || string(got) != "real artifact" {
+		t.Fatalf("real object lost in sweep: %q, %v", got, err)
 	}
 }
 

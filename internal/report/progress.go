@@ -27,6 +27,7 @@ type Snapshot struct {
 	Done    int           `json:"done"`
 	Total   int           `json:"total"`
 	Failed  int           `json:"failed"`
+	Cached  int           `json:"cached"`            // of Done, how many came from the result cache
 	Current string        `json:"current,omitempty"` // most recently finished label
 	Rate    float64       `json:"rate"`              // cases/s over the sliding window
 	ETA     time.Duration `json:"-"`
@@ -50,6 +51,7 @@ type Progress struct {
 	total     int
 	done      int
 	failed    int
+	cached    int
 	current   string
 	slowLabel string
 	slowWall  time.Duration
@@ -94,10 +96,25 @@ func (p *Progress) Start(total int) {
 
 // Done reports one finished job and redraws the progress line.
 func (p *Progress) Done(label string, wall time.Duration, ok bool) {
+	p.finish(label, wall, ok, false)
+}
+
+// CachedDone reports one job satisfied from the result cache (the
+// runner package's CacheReporter extension): it counts toward done and
+// the rate like any completion, and separately toward the cached tally
+// so warm sweeps read "done (cached/ran)".
+func (p *Progress) CachedDone(label string) {
+	p.finish(label, 0, true, true)
+}
+
+func (p *Progress) finish(label string, wall time.Duration, ok, cached bool) {
 	p.mu.Lock()
 	p.done++
 	if !ok {
 		p.failed++
+	}
+	if cached {
+		p.cached++
 	}
 	p.current = label
 	if wall > p.slowWall {
@@ -156,6 +173,7 @@ func (p *Progress) snapshotLocked() Snapshot {
 		Done:    p.done,
 		Total:   p.total,
 		Failed:  p.failed,
+		Cached:  p.cached,
 		Current: p.current,
 		Rate:    p.rateLocked(now),
 	}
@@ -189,8 +207,12 @@ func (p *Progress) draw() {
 	if p.total > 0 {
 		pct = 100 * float64(p.done) / float64(p.total)
 	}
-	line := fmt.Sprintf("[%d/%d] %3.0f%% elapsed %s eta %s",
-		p.done, p.total, pct,
+	counts := fmt.Sprintf("%d/%d", p.done, p.total)
+	if p.cached > 0 {
+		counts = fmt.Sprintf("%d/%d (%d cached/%d ran)", p.done, p.total, p.cached, p.done-p.cached)
+	}
+	line := fmt.Sprintf("[%s] %3.0f%% elapsed %s eta %s",
+		counts, pct,
 		elapsed.Round(100*time.Millisecond), eta.Round(100*time.Millisecond))
 	if rate > 0 {
 		line += fmt.Sprintf(" %.1f/s", rate)

@@ -1,0 +1,28 @@
+package resultcache
+
+import (
+	"fmt"
+	"io"
+)
+
+// OpenCLI is the shared command-line wiring: resolve the code version,
+// open dir, and return (store, version). A disabled cache (empty dir,
+// explicit bypass, or an unstamped/dirty build with no env override)
+// returns (nil, "") after explaining itself on w; only an actual open
+// failure is an error.
+func OpenCLI(w io.Writer, tool, dir string, bypass bool) (*Store, string, error) {
+	if dir == "" || bypass {
+		return nil, "", nil
+	}
+	ver, ok := CodeVersion()
+	if !ok {
+		fmt.Fprintf(w, "%s: result cache disabled: no VCS stamp or dirty worktree (set %s to override)\n",
+			tool, CodeVersionEnv)
+		return nil, "", nil
+	}
+	s, err := Open(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	return s, ver, nil
+}

@@ -1,0 +1,95 @@
+// Package resultcache is the content-addressed on-disk cache behind warm
+// sweeps: every experiment cell (one benchmark run under one variant) is
+// keyed by a sha256 over a canonical encoding of everything that could
+// change its bytes — config, seed, and the code version — and its
+// rendered result is stored under that key with the same temp + fsync +
+// rename discipline as the queue's artifact store. A warm sweep
+// re-renders figures from cached bytes; because cells are cached below
+// the reduction layer and the reducers are pure, warm output is
+// byte-identical to cold output by construction (and enforced by test
+// and the CI determinism gate).
+package resultcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sort"
+	"strings"
+)
+
+// Key accumulates the fields that determine one cell's result and
+// reduces them to a stable digest. Canonicalization is order-insensitive:
+// fields are sorted by name before hashing, so two call sites that
+// assemble the same logical configuration in different orders produce
+// the same key.
+type Key struct {
+	fields []string
+}
+
+// NewKey returns an empty key builder.
+func NewKey() *Key { return &Key{} }
+
+// Field records one name=value pair. Names must be unique per key;
+// values are arbitrary strings (newlines are escaped so field boundaries
+// stay unambiguous).
+func (k *Key) Field(name, value string) *Key {
+	value = strings.ReplaceAll(value, "\\", `\\`)
+	value = strings.ReplaceAll(value, "\n", `\n`)
+	k.fields = append(k.fields, name+"="+value)
+	return k
+}
+
+// Fieldf is Field with Sprintf formatting of the value.
+func (k *Key) Fieldf(name, format string, args ...any) *Key {
+	return k.Field(name, fmt.Sprintf(format, args...))
+}
+
+// Canonical returns the sorted, newline-joined field encoding the digest
+// is computed over — exposed so tests can assert canonicalization rules.
+func (k *Key) Canonical() string {
+	lines := append([]string(nil), k.fields...)
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// Sum returns the hex sha256 of the canonical encoding.
+func (k *Key) Sum() string {
+	sum := sha256.Sum256([]byte(k.Canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// CodeVersionEnv overrides the build-info code version, for dev trees
+// (no VCS stamping, or a dirty working copy) that still want caching.
+const CodeVersionEnv = "ASAP_CACHE_CODEVERSION"
+
+// CodeVersion returns the identifier that invalidates the cache across
+// code changes, and whether caching is safe at all. It is the VCS
+// revision from debug/buildinfo; a dirty working copy or an unstamped
+// binary (go test, plain go build without VCS) yields ok=false — stale
+// hits are worse than cold runs — unless ASAP_CACHE_CODEVERSION supplies
+// an explicit version, which dev trees and tests use to opt back in.
+func CodeVersion() (version string, ok bool) {
+	if env := os.Getenv(CodeVersionEnv); env != "" {
+		return env, true
+	}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", false
+	}
+	var rev, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev == "" || modified == "true" {
+		return "", false
+	}
+	return rev, true
+}

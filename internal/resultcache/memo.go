@@ -1,0 +1,43 @@
+package resultcache
+
+import "encoding/json"
+
+// MemoJSON returns the (cached, store) pair a runner.Job wants for
+// JSON-codable results: cached decodes a hit's payload into T (an
+// undecodable entry is a miss, never trusted), store encodes the computed
+// value. A failed Put is silently dropped — the cache is an accelerator,
+// not a dependency.
+func MemoJSON[T any](s *Store, key string) (func() (T, bool), func(T)) {
+	cached := func() (T, bool) {
+		var out T
+		blob, ok := s.Get(key)
+		if !ok {
+			return out, false
+		}
+		if err := json.Unmarshal(blob, &out); err != nil {
+			return out, false
+		}
+		return out, true
+	}
+	store := func(v T) {
+		if blob, err := json.Marshal(v); err == nil {
+			_ = s.Put(key, blob)
+		}
+	}
+	return cached, store
+}
+
+// CaseKey derives a cache key for a harness case: the case's canonical
+// JSON encoding (struct field order is fixed by the type) plus the kind
+// tag and code version.
+func CaseKey(kind string, caseValue any, codeVersion string) (string, error) {
+	blob, err := json.Marshal(caseValue)
+	if err != nil {
+		return "", err
+	}
+	return NewKey().
+		Field("kind", kind).
+		Field("case", string(blob)).
+		Field("codeversion", codeVersion).
+		Sum(), nil
+}

@@ -1,0 +1,185 @@
+package resultcache
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+)
+
+// Entry format: a fixed header in front of the payload so a truncated or
+// bit-flipped entry is detected and recomputed, never trusted.
+//
+//	[0:4]   magic "ASRC"
+//	[4:8]   format version (LE)
+//	[8:12]  crc32 (IEEE) of the payload (LE)
+//	[12:16] payload length (LE)
+//	[16:]   payload
+const (
+	entryMagic   = "ASRC"
+	entryVersion = 1
+	headerLen    = 16
+)
+
+// ErrCorrupt marks an entry that failed magic/version/length/CRC checks.
+var ErrCorrupt = errors.New("resultcache: corrupt entry")
+
+// Store is the on-disk cell cache: entries live at cells/<aa>/<rest of
+// key digest>, written via temp file + fsync + rename so a crash can
+// never leave a half-written entry under its final name. Opening the
+// store sweeps temp files orphaned by a kill -9 mid-Put. Hit/miss/put
+// counters are atomic, so one Store may serve a whole worker pool.
+type Store struct {
+	dir string
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	puts   atomic.Int64
+}
+
+// Open creates (if needed) and opens the cache rooted at dir, removing
+// any orphaned .tmp-* files a crashed writer left behind.
+func Open(dir string) (*Store, error) {
+	cells := filepath.Join(dir, "cells")
+	if err := os.MkdirAll(cells, 0o755); err != nil {
+		return nil, err
+	}
+	if err := SweepOrphans(cells); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// SweepOrphans removes .tmp-* files under root: the half-written temp
+// files a kill -9 mid-Put strands, which would otherwise accumulate
+// forever. Shared with the queue's artifact store, which follows the
+// same write discipline.
+func SweepOrphans(root string) error {
+	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil
+			}
+			return err
+		}
+		if !d.IsDir() && strings.HasPrefix(d.Name(), ".tmp-") {
+			if rerr := os.Remove(path); rerr != nil && !errors.Is(rerr, fs.ErrNotExist) {
+				return rerr
+			}
+		}
+		return nil
+	})
+}
+
+// Dir returns the cache root.
+func (s *Store) Dir() string { return s.dir }
+
+// entryPath maps a key digest to its on-disk path, rejecting anything
+// that is not a hex sha256 so keys cannot escape the cache directory.
+func (s *Store) entryPath(key string) (string, error) {
+	if len(key) != 64 {
+		return "", errors.New("resultcache: malformed key " + key)
+	}
+	if _, err := hex.DecodeString(key); err != nil {
+		return "", errors.New("resultcache: malformed key " + key)
+	}
+	return filepath.Join(s.dir, "cells", key[:2], key[2:]), nil
+}
+
+// Get returns the payload cached under key, or (nil, false) on a miss.
+// A corrupt or truncated entry (bad magic, version, length, or CRC) is
+// removed and reported as a miss: the cell is recomputed, never trusted.
+func (s *Store) Get(key string) ([]byte, bool) {
+	path, err := s.entryPath(key)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, err := decodeEntry(raw)
+	if err != nil {
+		os.Remove(path)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return payload, true
+}
+
+// Put stores payload under key. The write is durable — fsynced before
+// rename — when Put returns; concurrent Puts of the same key are safe
+// (last rename wins, both contents identical by keying discipline).
+func (s *Store) Put(key string, payload []byte) error {
+	path, err := s.entryPath(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(encodeEntry(payload)); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Stats returns the lifetime hit/miss/put counts.
+func (s *Store) Stats() (hits, misses, puts int64) {
+	return s.hits.Load(), s.misses.Load(), s.puts.Load()
+}
+
+// encodeEntry frames payload with the magic/version/CRC/length header.
+func encodeEntry(payload []byte) []byte {
+	buf := make([]byte, headerLen+len(payload))
+	copy(buf[0:4], entryMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], entryVersion)
+	binary.LittleEndian.PutUint32(buf[8:12], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(len(payload)))
+	copy(buf[headerLen:], payload)
+	return buf
+}
+
+// decodeEntry validates the frame and returns the payload.
+func decodeEntry(raw []byte) ([]byte, error) {
+	if len(raw) < headerLen || string(raw[0:4]) != entryMagic {
+		return nil, ErrCorrupt
+	}
+	if binary.LittleEndian.Uint32(raw[4:8]) != entryVersion {
+		return nil, ErrCorrupt
+	}
+	n := binary.LittleEndian.Uint32(raw[12:16])
+	payload := raw[headerLen:]
+	if uint32(len(payload)) != n {
+		return nil, ErrCorrupt
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(raw[8:12]) {
+		return nil, ErrCorrupt
+	}
+	return payload, nil
+}

@@ -1,0 +1,132 @@
+package runner
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// memoReporter counts Done vs CachedDone calls.
+type memoReporter struct {
+	started, done, cached int
+}
+
+func (r *memoReporter) Start(total int)                                { r.started += total }
+func (r *memoReporter) Done(label string, wall time.Duration, ok bool) { r.done++ }
+func (r *memoReporter) CachedDone(label string)                        { r.cached++ }
+
+// TestMemoHitsSkipRun: jobs with a hitting Cached probe never run, land
+// their cached result at the right index, and report through CachedDone;
+// misses run, call Store, and report through Done.
+func TestMemoHitsSkipRun(t *testing.T) {
+	var ran, stored atomic.Int64
+	rep := &memoReporter{}
+	p := New(4)
+	p.SetReporter(rep)
+
+	jobs := make([]Job[int], 10)
+	for i := range jobs {
+		i := i
+		hit := i%2 == 0
+		jobs[i] = Job[int]{
+			Label: fmt.Sprintf("job%d", i),
+			Run: func() int {
+				ran.Add(1)
+				return i * 100
+			},
+			Cached: func() (int, bool) {
+				if hit {
+					return i * 100, true
+				}
+				return 0, false
+			},
+			Store: func(r int) {
+				if r != i*100 {
+					t.Errorf("Store(%d) for job %d", r, i)
+				}
+				stored.Add(1)
+			},
+		}
+	}
+	out, err := Collect(p, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*100 {
+			t.Errorf("out[%d] = %d, want %d", i, v, i*100)
+		}
+	}
+	if ran.Load() != 5 {
+		t.Errorf("ran = %d, want 5 (hits must not run)", ran.Load())
+	}
+	if stored.Load() != 5 {
+		t.Errorf("stored = %d, want 5 (only misses store)", stored.Load())
+	}
+	if rep.cached != 5 || rep.done != 5 {
+		t.Errorf("reporter saw cached=%d done=%d, want 5/5", rep.cached, rep.done)
+	}
+}
+
+// TestMemoPlainReporterSeesHitsAsDone: a reporter without CachedDone
+// still gets a Done call per hit, so totals always add up.
+func TestMemoPlainReporterSeesHitsAsDone(t *testing.T) {
+	rep := &plainReporter{}
+	p := New(2)
+	p.SetReporter(rep)
+	jobs := []Job[int]{
+		{Label: "hit", Run: func() int { return 0 }, Cached: func() (int, bool) { return 7, true }},
+		{Label: "miss", Run: func() int { return 8 }, Cached: func() (int, bool) { return 0, false }},
+	}
+	out, err := Collect(p, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 7 || out[1] != 8 {
+		t.Fatalf("out = %v", out)
+	}
+	if rep.done != 2 {
+		t.Fatalf("done = %d, want 2", rep.done)
+	}
+}
+
+type plainReporter struct{ done int }
+
+func (r *plainReporter) Start(total int)                                {}
+func (r *plainReporter) Done(label string, wall time.Duration, ok bool) { r.done++ }
+
+// TestMemoPanickingProbeIsAMiss: a Cached probe that panics degrades to
+// a miss; the job runs and the batch succeeds.
+func TestMemoPanickingProbeIsAMiss(t *testing.T) {
+	p := New(1)
+	jobs := []Job[int]{{
+		Label:  "probe-panics",
+		Run:    func() int { return 42 },
+		Cached: func() (int, bool) { panic("corrupt probe") },
+	}}
+	out, err := Collect(p, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 42 {
+		t.Fatalf("out[0] = %d, want 42", out[0])
+	}
+}
+
+// TestMemoStoreSkippedOnPanic: a job that panics never reaches Store.
+func TestMemoStoreSkippedOnPanic(t *testing.T) {
+	var stored atomic.Int64
+	p := New(1)
+	jobs := []Job[int]{{
+		Label: "boom",
+		Run:   func() int { panic("no") },
+		Store: func(int) { stored.Add(1) },
+	}}
+	if _, err := Collect(p, jobs); err == nil {
+		t.Fatal("expected panic error")
+	}
+	if stored.Load() != 0 {
+		t.Fatalf("Store called %d times after panic", stored.Load())
+	}
+}

@@ -25,6 +25,15 @@ import (
 type Job[R any] struct {
 	Label string
 	Run   func() R
+	// Cached, when non-nil, is consulted on a worker before Run is
+	// dispatched: returning (r, true) short-circuits the job and r lands
+	// at the job's index as if computed. This is how the result cache
+	// turns a warm sweep into O(diff) — hits never build a machine.
+	Cached func() (R, bool)
+	// Store, when non-nil, receives the computed result after a cache
+	// miss ran to completion (never after a panic, and never for cache
+	// hits), so the next sweep finds it.
+	Store func(R)
 }
 
 // Measurable lets the pool lift simulator metrics out of a job result
@@ -45,6 +54,17 @@ type Reporter interface {
 	// Done reports one finished job: its label, host wall time, and
 	// whether it completed without panicking.
 	Done(label string, wall time.Duration, ok bool)
+}
+
+// CacheReporter is the optional Reporter extension for pools running
+// memoized jobs: a reporter that implements it has cache hits reported
+// through CachedDone instead of Done, so progress lines and daemon
+// snapshots can show the cached-vs-computed split. Reporters without it
+// see hits as ordinary (instant, successful) Done calls.
+type CacheReporter interface {
+	Reporter
+	// CachedDone reports one job satisfied from the result cache.
+	CachedDone(label string)
 }
 
 // PanicError carries a panic out of a worker goroutine to the caller of
@@ -152,12 +172,27 @@ func collect[R any](ctx context.Context, p *Pool, jobs []Job[R], cut bool) ([]R,
 					errs[i] = ErrSkipped
 					continue
 				}
+				if jobs[i].Cached != nil && cachedOne(&results[i], jobs[i]) {
+					ran[i] = true
+					if p.reporter != nil {
+						repMu.Lock()
+						if cr, ok := p.reporter.(CacheReporter); ok {
+							cr.CachedDone(jobs[i].Label)
+						} else {
+							p.reporter.Done(jobs[i].Label, 0, true)
+						}
+						repMu.Unlock()
+					}
+					continue
+				}
 				start := time.Now()
 				errs[i] = runOne(&results[i], jobs[i])
 				walls[i] = time.Since(start)
 				ran[i] = true
 				if errs[i] != nil {
 					failed.Store(true)
+				} else if jobs[i].Store != nil {
+					jobs[i].Store(results[i])
 				}
 				if p.reporter != nil {
 					repMu.Lock()
@@ -191,6 +226,22 @@ func collect[R any](ctx context.Context, p *Pool, jobs []Job[R], cut bool) ([]R,
 		}
 	}
 	return results, nil
+}
+
+// cachedOne consults a job's cache probe with panic capture: a probe
+// that panics (a corrupt decode slipping past CRC, say) is a miss — the
+// job simply runs — never a batch failure.
+func cachedOne[R any](dst *R, j Job[R]) (hit bool) {
+	defer func() {
+		if recover() != nil {
+			hit = false
+		}
+	}()
+	r, ok := j.Cached()
+	if ok {
+		*dst = r
+	}
+	return ok
 }
 
 // runOne executes one job with panic capture.

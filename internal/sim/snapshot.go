@@ -1,0 +1,44 @@
+package sim
+
+import "asap/internal/snapshot"
+
+// AppendState digests the kernel's scheduling state: the clock, the
+// sequence counter, every thread's (id, name, clock, state), the waiter
+// set, and the pending event queue's (at, seq) pairs. Event callbacks are
+// closures and cannot be digested; their schedule is, which is what the
+// equivalence argument needs — two runs with identical (at, seq) queues
+// and identical thread states make identical scheduling decisions
+// (DESIGN.md §10, §15).
+//
+// AppendState must be called from kernel context (an event callback or
+// between Run steps): no simulated thread is mid-step, so every thread is
+// parked in exactly one scheduling structure.
+func (k *Kernel) AppendState(e *snapshot.Enc) {
+	e.Section("kernel")
+	e.U64(k.now)
+	e.U64(k.seq)
+	e.Bool(k.halted)
+	e.I64(int64(len(k.threads)))
+	for _, t := range k.threads {
+		e.I64(int64(t.id))
+		e.Str(t.name)
+		e.U64(t.now)
+		e.U64(uint64(t.state))
+	}
+	e.I64(int64(len(k.waiters)))
+	for _, w := range k.waiters {
+		e.I64(int64(w.id))
+	}
+	e.I64(int64(k.events.len()))
+	for _, ev := range k.events.heap {
+		e.U64(ev.at)
+		e.U64(ev.seq)
+	}
+}
+
+// LiveThreads returns the number of threads still participating in
+// scheduling (runnable or blocked). Checkpointers use it to stop
+// rescheduling boundary events once the simulation is winding down.
+func (k *Kernel) LiveThreads() int {
+	return k.runq.len() + len(k.waiters)
+}

@@ -1,0 +1,237 @@
+// Package snapshot is the versioned, deterministic state-serialization
+// layer behind checkpoint/resume (DESIGN.md §15). A snapshot is not a
+// byte image of the simulator — Go goroutine continuations cannot be
+// serialized — but a consistent cut taken at a cycle boundary: the run's
+// identity (config, seed) plus a per-section sha256 digest of every
+// explicit-state structure (kernel clock/run-queue/waiters, cache
+// tags/meta/line table, WPQ/LH-WPQ, PM image, heap, scheme state, stats
+// counters). Because the kernel is bit-deterministic, (identity, seed,
+// cycle) uniquely determines machine state; resuming = replaying to the
+// boundary, verifying every section digest bit-for-bit, and continuing.
+// The digests turn "trust the replay" into "audit the replay": any
+// divergence — code change, nondeterminism bug, corrupted snapshot — is
+// caught at the first boundary, named by section.
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// FormatVersion identifies the snapshot encoding. Bump it whenever a
+// section's byte layout changes: digests across versions never compare.
+const FormatVersion = 1
+
+// Section is one named state component's digest.
+type Section struct {
+	Name   string `json:"name"`
+	SHA256 string `json:"sha256"`
+}
+
+// Enc is the sectioned deterministic encoder every AppendState method
+// writes into. All integers are encoded little-endian fixed-width and
+// variable-length data is length-prefixed, so encodings never alias
+// across field boundaries.
+type Enc struct {
+	h        hash.Hash
+	name     string
+	sections []Section
+	scratch  [8]byte
+}
+
+// NewEnc returns an encoder with no open section. Callers must open a
+// Section before writing values.
+func NewEnc() *Enc { return &Enc{} }
+
+// Section closes the current section (if any) and opens a new one.
+func (e *Enc) Section(name string) {
+	e.closeSection()
+	e.name = name
+	e.h = sha256.New()
+}
+
+func (e *Enc) closeSection() {
+	if e.h == nil {
+		return
+	}
+	e.sections = append(e.sections, Section{
+		Name:   e.name,
+		SHA256: hex.EncodeToString(e.h.Sum(nil)),
+	})
+	e.h = nil
+}
+
+// U64 appends a fixed-width unsigned integer.
+func (e *Enc) U64(v uint64) {
+	binary.LittleEndian.PutUint64(e.scratch[:], v)
+	e.h.Write(e.scratch[:])
+}
+
+// I64 appends a fixed-width signed integer.
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+// Bool appends a boolean.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.U64(1)
+	} else {
+		e.U64(0)
+	}
+}
+
+// Bytes appends length-prefixed raw bytes.
+func (e *Enc) Bytes(b []byte) {
+	e.U64(uint64(len(b)))
+	e.h.Write(b)
+}
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(s string) {
+	e.U64(uint64(len(s)))
+	e.h.Write([]byte(s))
+}
+
+// Sections closes the current section and returns all digests in the
+// order the sections were opened.
+func (e *Enc) Sections() []Section {
+	e.closeSection()
+	return e.sections
+}
+
+// Snap is one checkpoint: where the run is (cycle), what the run is
+// (identity, seed), and the digests proving what the state was.
+type Snap struct {
+	Version  int       `json:"version"`
+	Identity string    `json:"identity"`
+	Seed     int64     `json:"seed"`
+	Cycle    uint64    `json:"cycle"`
+	Sections []Section `json:"sections"`
+}
+
+// Digest returns the snapshot's overall sha256: version, identity, seed,
+// cycle and every section digest, in order.
+func (s Snap) Digest() string {
+	e := NewEnc()
+	e.Section("snap")
+	e.I64(int64(s.Version))
+	e.Str(s.Identity)
+	e.I64(s.Seed)
+	e.U64(s.Cycle)
+	for _, sec := range s.Sections {
+		e.Str(sec.Name)
+		e.Str(sec.SHA256)
+	}
+	return e.Sections()[0].SHA256
+}
+
+// Diff compares two snapshots and returns a human-readable description
+// of every difference (empty = bit-identical). Section digests are
+// compared by name so a diverging component is called out directly.
+func (s Snap) Diff(o Snap) []string {
+	var out []string
+	if s.Version != o.Version {
+		out = append(out, fmt.Sprintf("version %d != %d", s.Version, o.Version))
+	}
+	if s.Identity != o.Identity {
+		out = append(out, fmt.Sprintf("identity %q != %q", s.Identity, o.Identity))
+	}
+	if s.Seed != o.Seed {
+		out = append(out, fmt.Sprintf("seed %d != %d", s.Seed, o.Seed))
+	}
+	if s.Cycle != o.Cycle {
+		out = append(out, fmt.Sprintf("cycle %d != %d", s.Cycle, o.Cycle))
+	}
+	theirs := make(map[string]string, len(o.Sections))
+	for _, sec := range o.Sections {
+		theirs[sec.Name] = sec.SHA256
+	}
+	seen := make(map[string]bool, len(s.Sections))
+	for _, sec := range s.Sections {
+		seen[sec.Name] = true
+		d, ok := theirs[sec.Name]
+		if !ok {
+			out = append(out, fmt.Sprintf("section %q missing from other", sec.Name))
+			continue
+		}
+		if d != sec.SHA256 {
+			out = append(out, fmt.Sprintf("section %q state diverged (%s != %s)", sec.Name, sec.SHA256[:12], d[:12]))
+		}
+	}
+	for _, sec := range o.Sections {
+		if !seen[sec.Name] {
+			out = append(out, fmt.Sprintf("section %q only in other", sec.Name))
+		}
+	}
+	return out
+}
+
+// File format: magic + version + CRC32 of the JSON payload + length +
+// payload, written via temp + fsync + rename — the same corruption and
+// crash discipline as the result cache.
+const fileMagic = "ASSN"
+
+// WriteFile durably writes snap to path.
+func WriteFile(path string, snap Snap) error {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 16+len(payload))
+	copy(buf[0:4], fileMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], FormatVersion)
+	binary.LittleEndian.PutUint32(buf[8:12], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(len(payload)))
+	copy(buf[16:], payload)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadFile reads and validates a snapshot written by WriteFile.
+func ReadFile(path string) (Snap, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Snap{}, err
+	}
+	if len(raw) < 16 || string(raw[0:4]) != fileMagic {
+		return Snap{}, fmt.Errorf("snapshot: %s: bad magic", path)
+	}
+	if v := binary.LittleEndian.Uint32(raw[4:8]); v != FormatVersion {
+		return Snap{}, fmt.Errorf("snapshot: %s: format version %d (want %d)", path, v, FormatVersion)
+	}
+	payload := raw[16:]
+	if n := binary.LittleEndian.Uint32(raw[12:16]); uint32(len(payload)) != n {
+		return Snap{}, fmt.Errorf("snapshot: %s: truncated (%d of %d payload bytes)", path, len(payload), n)
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(raw[8:12]) {
+		return Snap{}, fmt.Errorf("snapshot: %s: CRC mismatch", path)
+	}
+	var snap Snap
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return Snap{}, fmt.Errorf("snapshot: %s: %w", path, err)
+	}
+	return snap, nil
+}

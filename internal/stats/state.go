@@ -1,0 +1,36 @@
+package stats
+
+import (
+	"sort"
+
+	"asap/internal/snapshot"
+)
+
+// AppendState digests every counter and histogram in sorted name order.
+// Counters are the experiment-visible output, so any divergence here is a
+// determinism bug the resume equivalence test must catch.
+func (s *Set) AppendState(e *snapshot.Enc) {
+	e.Section("stats")
+	names := s.Names()
+	e.I64(int64(len(names)))
+	for _, n := range names {
+		e.Str(n)
+		e.I64(s.Get(n))
+	}
+
+	hnames := make([]string, 0, len(s.hists))
+	for n := range s.hists {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	e.I64(int64(len(hnames)))
+	for _, n := range hnames {
+		h := s.hists[n]
+		e.Str(n)
+		e.I64(h.count)
+		e.I64(int64(h.maxIdx))
+		for i := 0; i <= h.maxIdx && i < len(h.buckets); i++ {
+			e.I64(h.buckets[i])
+		}
+	}
+}

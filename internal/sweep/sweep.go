@@ -19,6 +19,7 @@ import (
 	"asap/internal/experiment"
 	"asap/internal/machine"
 	"asap/internal/report"
+	"asap/internal/resultcache"
 	"asap/internal/runner"
 )
 
@@ -177,6 +178,15 @@ type Options struct {
 	// wall time and error — asapbench prints failures as they happen and
 	// asapd uses it as a lease heartbeat.
 	OnExperiment func(name string, wall time.Duration, err error)
+	// Cache, when non-nil, memoizes experiment cells across runs: cells
+	// whose (config, seed, code-version) key hits are re-rendered from
+	// cached bytes instead of simulated. Output is byte-identical either
+	// way; only wall time changes.
+	Cache *resultcache.Store
+	// CodeVersion is folded into every cache key; required when Cache is
+	// set (resolve it with resultcache.CodeVersion). An empty version
+	// with a non-nil Cache disables caching rather than risk stale hits.
+	CodeVersion string
 }
 
 // execMu serializes Execute: the experiment package's pool and context
@@ -207,7 +217,9 @@ func Execute(ctx context.Context, spec Spec, w io.Writer, opt Options) ([]ExpRes
 	}
 	experiment.SetPool(pool)
 	experiment.SetContext(ctx)
+	experiment.SetCache(opt.Cache, opt.CodeVersion)
 	defer func() {
+		experiment.SetCache(nil, "")
 		experiment.SetContext(nil)
 		experiment.SetPool(nil)
 	}()

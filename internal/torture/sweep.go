@@ -8,6 +8,7 @@ import (
 
 	"asap/internal/crashtest"
 	"asap/internal/faults"
+	"asap/internal/resultcache"
 	"asap/internal/runner"
 )
 
@@ -42,6 +43,12 @@ type SweepConfig struct {
 	// ShrinkBudget, when > 0, bounds the replays spent minimizing each
 	// violating schedule.
 	ShrinkBudget int
+	// Cache, when non-nil (and CodeVersion non-empty), memoizes case
+	// outcomes across sweeps keyed by the case's canonical encoding and
+	// the code version. Shrunk schedules are never cached — shrinking
+	// reruns post-cache so the budget always applies to this sweep.
+	Cache       *resultcache.Store
+	CodeVersion string
 	// Context, when non-nil, lets the caller cancel the sweep: cases
 	// already dispatched finish, nothing further starts, and Sweep
 	// returns the partial summary alongside the context's error. Signal
@@ -175,6 +182,11 @@ func Sweep(cfg SweepConfig) (*Summary, error) {
 	for i, c := range cases {
 		c := c
 		jobs[i] = runner.Job[Outcome]{Label: c.String(), Run: func() Outcome { return RunCase(c) }}
+		if cfg.Cache != nil && cfg.CodeVersion != "" {
+			if key, err := resultcache.CaseKey("torturecase.v1", c, cfg.CodeVersion); err == nil {
+				jobs[i].Cached, jobs[i].Store = resultcache.MemoJSON[Outcome](cfg.Cache, key)
+			}
+		}
 	}
 	pool := runner.New(cfg.Workers)
 	if cfg.Reporter != nil {
