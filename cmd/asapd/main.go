@@ -41,6 +41,8 @@ import (
 	"syscall"
 	"time"
 
+	"asap/internal/iocampaign"
+	"asap/internal/iofault"
 	"asap/internal/queue"
 	"asap/internal/report"
 	"asap/internal/resultcache"
@@ -63,7 +65,16 @@ func run() int {
 	cacheDir := flag.String("cache-dir", "", "result-cache directory (default: <dir>/resultcache)")
 	noCache := flag.Bool("no-cache", false, "run sweeps without the result cache")
 	campaign := flag.Int("campaign", 0, "run N seeded kill/restart fault-campaign cases instead of serving")
+	ioCampaign := flag.Int("iocampaign", 0, "run N seeded hostile-I/O fault-injection cases instead of serving")
+	ioUnsafe := flag.Bool("io-unsafe", false, "hostile-I/O negative control: disable append rollback (the campaign MUST then fail)")
 	seed := flag.Int64("seed", 1, "fault campaign seed")
+	journalSegment := flag.Int64("journal-segment", 0, "journal segment rotation threshold in bytes (0 = default, negative disables compaction)")
+	budgetJournalSoft := flag.Int64("budget-journal-soft", 0, "journal soft disk budget in bytes (0 disables)")
+	budgetJournalHard := flag.Int64("budget-journal-hard", 0, "journal hard disk budget in bytes (0 disables)")
+	budgetStoreSoft := flag.Int64("budget-store-soft", 0, "artifact-store soft disk budget in bytes (0 disables)")
+	budgetStoreHard := flag.Int64("budget-store-hard", 0, "artifact-store hard disk budget in bytes (0 disables)")
+	budgetCacheSoft := flag.Int64("budget-cache-soft", 0, "result-cache soft disk budget in bytes (0 disables)")
+	budgetCacheHard := flag.Int64("budget-cache-hard", 0, "result-cache hard disk budget in bytes (0 disables)")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.Parse()
@@ -77,6 +88,9 @@ func run() int {
 
 	if *campaign > 0 {
 		return runCampaign(*campaign, *seed, *volatileFlag)
+	}
+	if *ioCampaign > 0 {
+		return runIOCampaign(*ioCampaign, *seed, *ioUnsafe)
 	}
 
 	// The result cache lives beside the artifact store by default: both
@@ -106,6 +120,19 @@ func run() int {
 		Volatile:          *volatileFlag,
 		Logger:            logger,
 		ResultContentType: "text/plain; charset=utf-8",
+
+		JournalSegmentBytes: *journalSegment,
+		Budget: queue.BudgetConfig{
+			Journal: queue.StoreBudget{Soft: *budgetJournalSoft, Hard: *budgetJournalHard},
+			Store:   queue.StoreBudget{Soft: *budgetStoreSoft, Hard: *budgetStoreHard},
+			Cache:   queue.StoreBudget{Soft: *budgetCacheSoft, Hard: *budgetCacheHard},
+		},
+	}
+	if cache != nil {
+		// Degraded mode sheds the result cache first: it is the one store
+		// whose contents are pure recompute cost, never lost results.
+		cfg.CacheUsage = cache.Bytes
+		cfg.CacheShed = cache.Shed
 	}
 	d, err := queue.Open(cfg)
 	if err != nil {
@@ -113,6 +140,12 @@ func run() int {
 		return 1
 	}
 	if cache != nil {
+		ioErrs := d.Metrics.CounterVec("asapd_io_errors_total",
+			"I/O failures on durable paths, by path (journal/store/resultcache/snapshot) and fault class.",
+			"path", "class")
+		cache.SetErrorHook(func(err error) {
+			ioErrs.With("resultcache", iofault.Classify(err)).Inc()
+		})
 		d.Metrics.GaugeFunc("asapd_resultcache_hits",
 			"Result-cache hits (cells re-rendered without simulation) since start.",
 			func() float64 { h, _, _ := cache.Stats(); return float64(h) })
@@ -253,6 +286,42 @@ func sweepExec(ctx context.Context, raw json.RawMessage, cache *resultcache.Stor
 		queue.Heartbeat(ctx)
 	}
 	return out.Bytes(), nil
+}
+
+// runIOCampaign executes the hostile-I/O campaign (asapd -iocampaign N):
+// seeded fault injection against every durable writer, audited for
+// corruption, lost acked jobs, and poisoned cache hits. With -io-unsafe
+// the journal's rollback protection is off and the exit codes invert:
+// a run that finds NO corruption means the auditors are blind, and the
+// green safe run next to it proves nothing.
+func runIOCampaign(cases int, seed int64, unsafe bool) int {
+	sum, err := iocampaign.Run(iocampaign.Config{Cases: cases, Seed: seed, Unsafe: unsafe})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asapd: iocampaign: %v\n", err)
+		return 1
+	}
+	buf, _ := json.MarshalIndent(sum, "", "  ")
+	fmt.Println(string(buf))
+	if unsafe {
+		if !sum.Bad() {
+			fmt.Fprintln(os.Stderr, "asapd: unsafe control detected no corruption; the auditors are blind")
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "asapd: negative control: %d audit failures without rollback protection (expected)\n",
+			len(sum.Failures))
+		return 0
+	}
+	if sum.Bad() {
+		fmt.Fprintf(os.Stderr, "asapd: iocampaign FAILED with %d audit failures\n", len(sum.Failures))
+		return 1
+	}
+	if sum.Injected == 0 {
+		fmt.Fprintln(os.Stderr, "asapd: iocampaign injected no faults; nothing was exercised")
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "asapd: iocampaign passed: %d cases, %d faults fired, %d clean refusals, 0 corruptions, 0 lost acked jobs, 0 poisoned hits\n",
+		sum.Cases, sum.Injected, sum.CleanRefusals)
+	return 0
 }
 
 // runCampaign executes the seeded fault campaign (asapd -campaign N) and

@@ -1,0 +1,78 @@
+package iocampaign
+
+import "testing"
+
+// TestSafeCampaignSurvives is a scaled-down version of the CI sweep: a
+// full pass over the target × class matrix with protections on must
+// find zero audit violations, and the faults must actually fire (a
+// campaign that never injects proves nothing).
+func TestSafeCampaignSurvives(t *testing.T) {
+	sum, err := Run(Config{Cases: 60, Seed: 7, WorkDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Bad() {
+		t.Fatalf("safe campaign found %d violations:\n%s", len(sum.Failures), joinLines(sum.Failures))
+	}
+	if sum.Injected == 0 {
+		t.Fatal("no case injected a fault; the campaign is not exercising anything")
+	}
+	for _, target := range targets {
+		if sum.ByTarget[target] != 60/len(targets) {
+			t.Errorf("target %s scheduled %d cases, want %d", target, sum.ByTarget[target], 60/len(targets))
+		}
+		if sum.InjectedByTarget[target] == 0 {
+			t.Errorf("target %s never saw a fired fault", target)
+		}
+	}
+	for _, class := range classes {
+		if sum.ByClass[class] == 0 {
+			t.Errorf("class %s never scheduled", class)
+		}
+	}
+	if sum.CleanRefusals == 0 {
+		t.Error("no operation was ever refused; injected faults are being swallowed silently")
+	}
+	if sum.Survivals == 0 {
+		t.Error("no operation ever survived; the campaign setup is broken")
+	}
+}
+
+// TestUnsafeCampaignFails is the negative control: with the journal's
+// append rollback disabled, the same sweep MUST surface corruption. If
+// it stays green, the auditors are blind and every safe pass is
+// meaningless.
+func TestUnsafeCampaignFails(t *testing.T) {
+	sum, err := Run(Config{Cases: 60, Seed: 7, Unsafe: true, WorkDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Bad() {
+		t.Fatal("unsafe campaign reported zero failures; the corruption auditors detect nothing")
+	}
+}
+
+// TestCampaignDeterminism: identical config, identical verdict — the
+// summary (including the exact failure text) is a pure function of the
+// seed.
+func TestCampaignDeterminism(t *testing.T) {
+	a, err := Run(Config{Cases: 20, Seed: 99, WorkDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Cases: 20, Seed: 99, WorkDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Injected != b.Injected || a.CleanRefusals != b.CleanRefusals || a.Survivals != b.Survivals {
+		t.Fatalf("reruns diverged: %+v vs %+v", a, b)
+	}
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package iofault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestOSPassthroughDurableWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "obj")
+	if err := WriteDurable(OS{}, dir, path, []byte("hello")); err != nil {
+		t.Fatalf("WriteDurable: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back: %q, %v", got, err)
+	}
+	// Overwrite is atomic: either version, never a mix (here: success).
+	if err := WriteDurable(OS{}, dir, path, []byte("world")); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "world" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	// No temp debris left behind.
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("dir has %d entries after commits, want 1", len(ents))
+	}
+}
+
+func TestTripFiresAtExactCount(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS{}, 1)
+	ffs.Arm(Trip{Op: OpWrite, Class: ClassENOSPC, N: 3})
+
+	f, err := ffs.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if _, err := f.Write([]byte("abcd")); err != nil {
+			t.Fatalf("write %d should pass: %v", i, err)
+		}
+	}
+	_, err = f.Write([]byte("abcd"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("3rd write: got %v, want ENOSPC", err)
+	}
+	var inj *InjectedError
+	if !errors.As(err, &inj) || inj.Class != ClassENOSPC {
+		t.Fatalf("error not an InjectedError with class: %v", err)
+	}
+	if Classify(err) != ClassENOSPC {
+		t.Fatalf("Classify = %q", Classify(err))
+	}
+	// One-shot: the 4th write passes again.
+	if _, err := f.Write([]byte("abcd")); err != nil {
+		t.Fatalf("4th write after one-shot: %v", err)
+	}
+	if n := len(ffs.Log()); n != 1 {
+		t.Fatalf("fault log has %d entries, want 1", n)
+	}
+}
+
+func TestShortWriteLeavesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	ffs := NewFaultFS(OS{}, 7)
+	ffs.Arm(Trip{Op: OpWrite, Class: ClassShortWrite, N: 1})
+	f, err := ffs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1000)
+	n, err := f.Write(payload)
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short write error: %v", err)
+	}
+	if n < 0 || n >= len(payload) {
+		t.Fatalf("short write wrote %d of %d", n, len(payload))
+	}
+	f.Close()
+	st, _ := os.Stat(path)
+	if st.Size() != int64(n) {
+		t.Fatalf("file holds %d bytes, write reported %d", st.Size(), n)
+	}
+}
+
+func TestTornSyncTruncatesUnsyncedSuffix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	ffs := NewFaultFS(OS{}, 42)
+	f, err := ffs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First batch becomes durable.
+	if _, err := f.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Second batch is torn mid-sync.
+	ffs.Arm(Trip{Op: OpSync, Class: ClassTornSync, N: 1})
+	if _, err := f.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	err = f.Sync()
+	if !errors.Is(err, syscall.EIO) || Classify(err) != ClassTornSync {
+		t.Fatalf("torn sync: %v (class %s)", err, Classify(err))
+	}
+	st, _ := os.Stat(path)
+	if st.Size() < 100 || st.Size() >= 200 {
+		t.Fatalf("torn file is %d bytes; want [100,200): synced prefix kept, suffix torn", st.Size())
+	}
+	// The file is dead from here on.
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("write to torn file succeeded")
+	}
+	if err := f.Sync(); err == nil {
+		t.Fatal("sync of torn file succeeded")
+	}
+}
+
+func TestRenameAndDirSyncFaults(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src")
+	dst := filepath.Join(dir, "dst")
+	os.WriteFile(src, []byte("x"), 0o644)
+
+	ffs := NewFaultFS(OS{}, 3)
+	ffs.Arm(Trip{Op: OpRename, Class: ClassRenameFail, N: 1})
+	if err := ffs.Rename(src, dst); Classify(err) != ClassRenameFail {
+		t.Fatalf("rename fault: %v", err)
+	}
+	if _, err := os.Stat(dst); err == nil {
+		t.Fatal("dst exists after failed rename")
+	}
+	if err := ffs.Rename(src, dst); err != nil {
+		t.Fatalf("rename after one-shot: %v", err)
+	}
+	ffs.Arm(Trip{Op: OpSyncDir, Class: ClassEIO, N: 1})
+	if err := ffs.SyncDir(dir); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("syncdir fault: %v", err)
+	}
+	if err := ffs.SyncDir(dir); err != nil {
+		t.Fatalf("syncdir after one-shot: %v", err)
+	}
+}
+
+func TestTripSubstrTargeting(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS{}, 5)
+	ffs.Arm(Trip{Op: OpOpen, Class: ClassEIO, N: 1, Substr: "journal"})
+	if _, err := ffs.OpenFile(filepath.Join(dir, "other"), os.O_CREATE|os.O_WRONLY, 0o644); err != nil {
+		t.Fatalf("non-matching path faulted: %v", err)
+	}
+	if _, err := ffs.OpenFile(filepath.Join(dir, "journal-1"), os.O_CREATE|os.O_WRONLY, 0o644); err == nil {
+		t.Fatal("matching path did not fault")
+	}
+}
+
+func TestDeterministicSequence(t *testing.T) {
+	run := func() []Injected {
+		dir := t.TempDir()
+		ffs := NewFaultFS(OS{}, 99)
+		ffs.SetProb(OpWrite, 0.3)
+		ffs.SetClasses(ClassENOSPC, ClassEIO, ClassShortWrite)
+		f, _ := ffs.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+		for i := 0; i < 50; i++ {
+			f.Write([]byte("0123456789"))
+		}
+		log := ffs.Log()
+		// Strip paths (temp dirs differ) for comparison.
+		for i := range log {
+			log[i].Path = ""
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("probability mode injected nothing in 50 ops at p=0.3")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs injected %d vs %d faults", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

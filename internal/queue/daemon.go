@@ -7,10 +7,10 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
-	"path/filepath"
 	"sync"
 	"time"
 
+	"asap/internal/iofault"
 	"asap/internal/metrics"
 	"asap/internal/obs"
 	"asap/internal/report"
@@ -25,6 +25,57 @@ type Executor func(ctx context.Context, spec json.RawMessage) ([]byte, error)
 
 // ErrDraining rejects intake once a drain has begun.
 var ErrDraining = errors.New("queue: daemon is draining")
+
+// ErrDegraded rejects intake while a hard disk-budget watermark is
+// breached. Unlike draining, degraded mode is reversible: reclaim disk
+// (or raise the budget) and intake resumes.
+var ErrDegraded = errors.New("queue: degraded: disk budget exceeded, intake refused")
+
+// StoreBudget bounds one store's on-disk footprint. Breaching Soft puts
+// the daemon in degraded level 1 (the resultcache is shed — it holds
+// only recomputable entries); breaching Hard raises level 2 (new job
+// intake is refused with 503 while status, metrics and results keep
+// serving). Zero disables the respective watermark.
+type StoreBudget struct {
+	Soft int64
+	Hard int64
+}
+
+// level maps a usage reading to a degraded level under this budget.
+// cur is the store's current level: leaving a level requires dropping
+// 1/8 below the watermark that raised it (hysteresis, so a store
+// hovering at the boundary does not flap).
+func (b StoreBudget) level(usage int64, cur int) int {
+	soft, hard := b.Soft, b.Hard
+	if cur >= 2 && hard > 0 {
+		hard -= hard / 8
+	}
+	if cur >= 1 && soft > 0 {
+		soft -= soft / 8
+	}
+	switch {
+	case hard > 0 && usage >= hard:
+		return 2
+	case soft > 0 && usage >= soft:
+		return 1
+	}
+	return 0
+}
+
+// BudgetConfig sets per-store disk budgets. The zero value disables
+// degraded mode entirely.
+type BudgetConfig struct {
+	// Journal bounds the queue WAL (active segment bytes).
+	Journal StoreBudget
+	// Store bounds the content-addressed artifact store.
+	Store StoreBudget
+	// Cache bounds the resultcache, observed through Config.CacheUsage.
+	Cache StoreBudget
+}
+
+func (b BudgetConfig) enabled() bool {
+	return b.Journal != (StoreBudget{}) || b.Store != (StoreBudget{}) || b.Cache != (StoreBudget{})
+}
 
 // DiscardLogger returns a logger that drops everything — tests and the
 // fault campaign run thousands of daemon lifecycles and must not spam.
@@ -72,6 +123,20 @@ type Config struct {
 	// Volatile disables the journal: the fault campaign's negative
 	// control. A volatile daemon that dies loses its queue.
 	Volatile bool
+	// FS is the filesystem seam under the journal and artifact store
+	// (default iofault.OS{}); the hostile-I/O campaign passes a FaultFS.
+	FS iofault.FS
+	// JournalSegmentBytes is the journal rotation threshold (default
+	// DefaultSegmentBytes; negative disables compaction).
+	JournalSegmentBytes int64
+	// Budget configures disk-budget degraded mode (zero disables).
+	Budget BudgetConfig
+	// CacheUsage and CacheShed connect the resultcache — owned by the
+	// executor layer, not the daemon — to degraded mode: usage feeds the
+	// Cache budget and the asapd_store_bytes gauge; shed is invoked on
+	// every upward degraded transition.
+	CacheUsage func() int64
+	CacheShed  func() (int64, error)
 
 	// medium/mediumData, when set, back the journal with a caller-owned
 	// medium instead of a file — the campaign's kill-injection hook.
@@ -104,6 +169,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
+	}
+	if c.FS == nil {
+		c.FS = iofault.OS{}
 	}
 	return c
 }
@@ -148,6 +216,12 @@ type Daemon struct {
 	draining bool
 	started  bool
 
+	// degLevel is the disk-budget degraded level (0 healthy, 1 soft
+	// breach: cache shed, 2 hard breach: intake refused), under degMu so
+	// budget checks never contend with the job-tracking lock.
+	degMu    sync.Mutex
+	degLevel int
+
 	wg       sync.WaitGroup
 	tickStop chan struct{}
 }
@@ -169,7 +243,8 @@ func Open(cfg Config) (*Daemon, error) {
 		if cfg.medium != nil {
 			j, recs, rep, err = OpenMediumJournal(cfg.medium, cfg.mediumData)
 		} else {
-			j, recs, rep, err = OpenFileJournal(filepath.Join(cfg.Dir, "journal.asapq"))
+			j, recs, rep, err = OpenDirJournal(cfg.FS, cfg.Dir,
+				JournalOptions{SegmentBytes: cfg.JournalSegmentBytes})
 		}
 		if err != nil {
 			return nil, err
@@ -182,7 +257,7 @@ func Open(cfg Config) (*Daemon, error) {
 		}
 		return nil, err
 	}
-	st, err := OpenStore(cfg.Dir)
+	st, err := OpenStoreFS(cfg.FS, cfg.Dir)
 	if err != nil {
 		q.Close()
 		return nil, err
@@ -259,6 +334,7 @@ func (d *Daemon) runTickers() {
 		case <-d.tickStop:
 			return
 		case <-expire.C:
+			d.checkBudgets()
 			expired, err := d.Q.ExpireLeases()
 			if err != nil {
 				return
@@ -272,6 +348,80 @@ func (d *Daemon) runTickers() {
 		case <-series:
 			d.Rec.Tick(uint64(d.cfg.Clock().Sub(d.start).Milliseconds()))
 		}
+	}
+}
+
+// DegradedLevel returns the current disk-budget degraded level: 0
+// healthy, 1 soft (cache shed), 2 hard (intake refused).
+func (d *Daemon) DegradedLevel() int {
+	d.degMu.Lock()
+	defer d.degMu.Unlock()
+	return d.degLevel
+}
+
+// checkBudgets reads every store's footprint, computes the degraded
+// level (with 1/8 hysteresis on the way down, per StoreBudget.level),
+// and drives transitions: any upward move sheds the resultcache — its
+// entries are recomputable, so it is always the first thing traded for
+// disk — and every move is logged and mirrored to the asapd_degraded
+// gauge. Called from the expiry ticker and after every result persist.
+func (d *Daemon) checkBudgets() {
+	b := d.cfg.Budget
+	if !b.enabled() {
+		return
+	}
+	var jBytes int64
+	if j := d.Q.Journal(); j != nil {
+		jBytes = j.Size()
+	}
+	sBytes := d.St.Bytes()
+	var cBytes int64
+	if d.cfg.CacheUsage != nil {
+		cBytes = d.cfg.CacheUsage()
+	}
+
+	d.degMu.Lock()
+	cur := d.degLevel
+	level := 0
+	for _, s := range []struct {
+		usage  int64
+		budget StoreBudget
+	}{{jBytes, b.Journal}, {sBytes, b.Store}, {cBytes, b.Cache}} {
+		if l := s.budget.level(s.usage, cur); l > level {
+			level = l
+		}
+	}
+	if level == cur {
+		d.degMu.Unlock()
+		return
+	}
+	d.degLevel = level
+	d.degMu.Unlock()
+
+	d.met.degraded.Set(float64(level))
+	var shedBytes int64
+	if level > cur && d.cfg.CacheShed != nil {
+		freed, err := d.cfg.CacheShed()
+		shedBytes = freed
+		if err != nil {
+			d.cfg.Logger.Error("degraded: cache shed incomplete", "freed_bytes", freed, "error", err)
+		}
+	}
+	attrs := []any{
+		"from", cur, "to", level,
+		"journal_bytes", jBytes, "store_bytes", sBytes, "cache_bytes", cBytes,
+	}
+	switch {
+	case level >= 2:
+		d.cfg.Logger.Error("degraded: hard disk budget breached, refusing new job intake",
+			append(attrs, "shed_bytes", shedBytes)...)
+	case level > cur:
+		d.cfg.Logger.Warn("degraded: soft disk budget breached, resultcache shed",
+			append(attrs, "shed_bytes", shedBytes)...)
+	case level == 0:
+		d.cfg.Logger.Info("degraded mode cleared", attrs...)
+	default:
+		d.cfg.Logger.Info("degraded: hard budget cleared, still above soft watermark", attrs...)
 	}
 }
 
@@ -393,7 +543,11 @@ func (d *Daemon) execute(l *Lease) {
 	cancel()
 
 	if err == nil {
-		hash, manifest, perr := d.persistResult(art, col.list())
+		// Persisting is progress: buy a fresh lease window before the
+		// fsync-heavy store writes, so a short lease timeout cannot expire
+		// a job that finished computing and is merely waiting on disk.
+		d.Q.Extend(l)
+		hash, manifest, perr := d.persistAndCheck(art, col.list())
 		if perr == nil {
 			switch aerr := d.Q.Ack(l, hash, manifest); {
 			case aerr == nil:
@@ -463,6 +617,15 @@ func (d *Daemon) persistResult(art []byte, extras []RawArtifact) (hash, manifest
 	return hash, manifest, nil
 }
 
+// persistAndCheck wraps persistResult with a budget re-check, so a Put
+// that tips a watermark degrades the daemon immediately instead of at
+// the next ticker.
+func (d *Daemon) persistAndCheck(art []byte, extras []RawArtifact) (string, string, error) {
+	hash, manifest, err := d.persistResult(art, extras)
+	d.checkBudgets()
+	return hash, manifest, err
+}
+
 // publishJobState emits a lifecycle event on the job's progress stream,
 // carrying forward the last known case counters so terminal events are
 // self-contained.
@@ -495,6 +658,9 @@ func (d *Daemon) Submit(spec json.RawMessage) (uint64, error) {
 	if d.isDraining() {
 		return 0, ErrDraining
 	}
+	if d.DegradedLevel() >= 2 {
+		return 0, ErrDegraded
+	}
 	if d.cfg.Validate != nil {
 		if err := d.cfg.Validate(spec); err != nil {
 			return 0, err
@@ -514,6 +680,9 @@ func (d *Daemon) Ready() (bool, string) {
 		return false, "starting: recovery/replay not complete"
 	case d.draining:
 		return false, "draining"
+	}
+	if d.DegradedLevel() >= 2 {
+		return false, "degraded: disk budget exceeded, intake refused"
 	}
 	return true, "ok"
 }
@@ -581,20 +750,27 @@ type Stats struct {
 	Counters  map[string]int64 `json:"counters"`
 	Workers   int              `json:"workers"`
 	Draining  bool             `json:"draining"`
+	Degraded  int              `json:"degraded"`
 	Recovered RecoverResult    `json:"recovered"`
 	Journal   ReplayReport     `json:"journal"`
+	Segments  int              `json:"journal_segments,omitempty"`
 	UptimeSec float64          `json:"uptime_sec"`
 }
 
 // Stats snapshots the daemon.
 func (d *Daemon) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Depths:    d.Q.Depths(),
 		Counters:  d.Q.Counters(),
 		Workers:   d.cfg.Workers,
 		Draining:  d.isDraining(),
+		Degraded:  d.DegradedLevel(),
 		Recovered: d.Recovered,
 		Journal:   d.JournalRep,
 		UptimeSec: d.cfg.Clock().Sub(d.start).Seconds(),
 	}
+	if j := d.Q.Journal(); j != nil {
+		st.Segments = j.Segments()
+	}
+	return st
 }

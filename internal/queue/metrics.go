@@ -31,6 +31,10 @@ type svcMetrics struct {
 	journalAppends     *metrics.Counter
 	journalAppendBytes *metrics.Counter
 	journalSyncs       *metrics.Counter
+	journalCompactions *metrics.Counter
+
+	ioErrors *metrics.CounterVec
+	degraded *metrics.Gauge
 
 	transitions *metrics.CounterVec
 
@@ -60,6 +64,14 @@ func newSvcMetrics(reg *metrics.Registry) *svcMetrics {
 			"Bytes appended to the journal, frames and CRCs included."),
 		journalSyncs: reg.Counter("asapd_journal_syncs_total",
 			"Journal medium syncs (one per append: write-ahead discipline)."),
+		journalCompactions: reg.Counter("asapd_journal_compactions_total",
+			"Journal rotations: checkpoint written into a fresh segment, old segments deleted."),
+
+		ioErrors: reg.CounterVec("asapd_io_errors_total",
+			"I/O failures on durable paths, by path (journal/store/resultcache/snapshot) and fault class.",
+			"path", "class"),
+		degraded: reg.Gauge("asapd_degraded",
+			"Disk-budget degraded level: 0 healthy, 1 soft (cache shed), 2 hard (intake refused)."),
 
 		transitions: reg.CounterVec("asapd_queue_transitions_total",
 			"Lease state-machine transitions by type.", "type"),
@@ -94,10 +106,14 @@ func (m *svcMetrics) wire(d *Daemon) {
 	reg := m.reg
 
 	if j := d.Q.Journal(); j != nil {
-		j.setMetrics(m.journalAppends, m.journalAppendBytes, m.journalSyncs)
+		j.setMetrics(m.journalAppends, m.journalAppendBytes, m.journalSyncs,
+			m.journalCompactions, m.ioErrors)
 		reg.GaugeFunc("asapd_journal_size_bytes",
 			"Current journal size (header + all good records).",
 			func() float64 { return float64(j.Size()) })
+		reg.GaugeFunc("asapd_journal_segments",
+			"Live journal segment files (1 after a completed compaction).",
+			func() float64 { return float64(j.Segments()) })
 	}
 	reg.Gauge("asapd_journal_replay_records",
 		"Records recovered by the last journal replay.").Set(float64(d.JournalRep.Records))
@@ -112,7 +128,7 @@ func (m *svcMetrics) wire(d *Daemon) {
 	}
 
 	d.Q.setMetrics(m.transitions)
-	d.St.setMetrics(m.storePuts, m.storeDedup, m.storePutBytes)
+	d.St.setMetrics(m.storePuts, m.storeDedup, m.storePutBytes, m.ioErrors)
 
 	depth := reg.GaugeVec("asapd_queue_depth", "Jobs by state (eligible = pending and past backoff gate).", "state")
 	depth.WithFunc(func() float64 { return float64(d.Q.Depths().Pending) }, "pending")
@@ -120,6 +136,17 @@ func (m *svcMetrics) wire(d *Daemon) {
 	depth.WithFunc(func() float64 { return float64(d.Q.Depths().Leased) }, "leased")
 	depth.WithFunc(func() float64 { return float64(d.Q.Depths().Done) }, "done")
 	depth.WithFunc(func() float64 { return float64(d.Q.Depths().Dead) }, "dead")
+
+	storeBytes := reg.GaugeVec("asapd_store_bytes",
+		"On-disk footprint by store (journal = active segment; artifacts/resultcache = committed files).",
+		"store")
+	if j := d.Q.Journal(); j != nil {
+		storeBytes.WithFunc(func() float64 { return float64(j.Size()) }, "journal")
+	}
+	storeBytes.WithFunc(func() float64 { return float64(d.St.Bytes()) }, "artifacts")
+	if usage := d.cfg.CacheUsage; usage != nil {
+		storeBytes.WithFunc(func() float64 { return float64(usage()) }, "resultcache")
+	}
 
 	reg.Gauge("asapd_exec_workers", "Configured worker pool size.").Set(float64(d.cfg.Workers))
 	reg.GaugeFunc("asapd_uptime_seconds", "Seconds since daemon start.",

@@ -156,6 +156,10 @@ func TestMetricsExpositionContract(t *testing.T) {
 		"asapd_draining":                  "gauge",
 		"asapd_journal_replay_records":    "gauge",
 		"asapd_journal_replay_torn_bytes": "gauge",
+		"asapd_journal_segments":          "gauge",
+		"asapd_journal_compactions_total": "counter",
+		"asapd_store_bytes":               "gauge",
+		"asapd_degraded":                  "gauge",
 	} {
 		if got := types[metric]; got != wantType {
 			t.Errorf("metric %s: type %q, want %q", metric, got, wantType)
@@ -181,6 +185,16 @@ func TestMetricsExpositionContract(t *testing.T) {
 	}
 	if v1[`asapd_exec_job_seconds_count`] != 3 {
 		t.Errorf("job histogram count %v, want 3", v1["asapd_exec_job_seconds_count"])
+	}
+	if v1[`asapd_store_bytes{store="artifacts"}`] <= 0 {
+		t.Errorf("artifact store bytes %v after 3 jobs, want > 0",
+			v1[`asapd_store_bytes{store="artifacts"}`])
+	}
+	if v1["asapd_journal_segments"] < 1 {
+		t.Errorf("journal segments %v, want >= 1", v1["asapd_journal_segments"])
+	}
+	if v1["asapd_degraded"] != 0 {
+		t.Errorf("degraded level %v on a healthy daemon", v1["asapd_degraded"])
 	}
 
 	// Histogram buckets must be cumulative and end at the total count.

@@ -45,6 +45,13 @@ type Policy struct {
 	// doubles per subsequent failure up to BackoffCap. Defaults 250ms/30s.
 	BackoffBase time.Duration
 	BackoffCap  time.Duration
+	// RetainTerminal bounds how many terminal (done/dead) jobs a
+	// compaction checkpoint carries forward: the newest N survive, older
+	// ones are shed from both the journal and the job table (their
+	// artifacts remain in the content-addressed store). 0 retains all —
+	// compaction then only squashes transition history, never forgets a
+	// job.
+	RetainTerminal int
 }
 
 func (p Policy) withDefaults() Policy {
@@ -167,6 +174,7 @@ type Queue struct {
 	order  []uint64 // insertion order, for deterministic scans and listings
 	nextID uint64
 	closed bool
+	shed   int64 // terminal jobs dropped by checkpoints, cumulative
 	ctr    map[string]int64
 	met    *metrics.CounterVec // transition counters; nil until attached
 	notify chan struct{}
@@ -332,6 +340,51 @@ func (q *Queue) apply(rec Record) error {
 		jb.deliveries-- // uncharged: the delivery never really happened
 		jb.worker = ""
 		jb.notBefore = time.Time{}
+	case RecCheckpoint:
+		cp := rec.Checkpoint
+		if cp == nil {
+			return fmt.Errorf("checkpoint record without state")
+		}
+		// A checkpoint is a full image: replace the job table. At replay it
+		// makes everything before it inert; at run time (applied right
+		// after a successful rotation) it is an identity transform except
+		// for the terminal jobs the checkpoint shed — dropping them from
+		// memory too keeps the live table equal to what a restart rebuilds.
+		jobs := make(map[uint64]*job, len(cp.Jobs))
+		order := make([]uint64, 0, len(cp.Jobs))
+		for _, cj := range cp.Jobs {
+			if _, dup := jobs[cj.ID]; dup {
+				return fmt.Errorf("duplicate job %d in checkpoint", cj.ID)
+			}
+			jb := &job{
+				id:         cj.ID,
+				spec:       cj.Spec,
+				state:      cj.State,
+				deliveries: cj.Deliveries,
+				worker:     cj.Worker,
+				hash:       cj.Hash,
+				manifest:   cj.Manifest,
+				lastErr:    cj.LastError,
+			}
+			switch cj.State {
+			case StatePending, StateLeased, StateDone, StateDead:
+			default:
+				return fmt.Errorf("job %d in checkpoint has unknown state %q", cj.ID, cj.State)
+			}
+			if cj.Deadline != 0 {
+				jb.deadline = time.Unix(0, cj.Deadline)
+			}
+			if cj.NotBefore != 0 {
+				jb.notBefore = time.Unix(0, cj.NotBefore)
+			}
+			jobs[cj.ID] = jb
+			order = append(order, cj.ID)
+		}
+		q.jobs, q.order = jobs, order
+		if cp.NextID > q.nextID {
+			q.nextID = cp.NextID
+		}
+		q.shed = cp.Shed
 	default:
 		return fmt.Errorf("unknown record type %d", rec.Type)
 	}
@@ -353,7 +406,80 @@ func (q *Queue) commit(rec Record) error {
 		// not an I/O condition. Surface loudly.
 		panic(fmt.Sprintf("queue: committed record does not apply: %v", err))
 	}
+	q.maybeCompact()
 	return nil
+}
+
+// maybeCompact rotates the journal when the active segment has crossed
+// its size threshold, seeding the new segment with a checkpoint of the
+// live state. Rotation failures are absorbed: the old segment keeps
+// accepting appends (nothing is lost, the journal is just longer than
+// intended) and the next threshold crossing retries. Callers hold q.mu
+// — the journal's own lock nests inside it, never the other way.
+func (q *Queue) maybeCompact() {
+	if q.j == nil || !q.j.ShouldRotate() {
+		return
+	}
+	cp := q.checkpointRecord()
+	if err := q.j.Rotate(cp); err != nil {
+		return
+	}
+	if err := q.apply(cp); err != nil {
+		panic(fmt.Sprintf("queue: own checkpoint does not apply: %v", err))
+	}
+}
+
+// checkpointRecord images the live queue into a RecCheckpoint. Under
+// Policy.RetainTerminal, the oldest terminal jobs beyond the bound are
+// shed (pending and leased jobs are always retained). Callers hold q.mu.
+func (q *Queue) checkpointRecord() Record {
+	cp := &CheckpointState{NextID: q.nextID, Shed: q.shed}
+	shed := 0
+	if retain := q.pol.RetainTerminal; retain > 0 {
+		terminal := 0
+		for _, id := range q.order {
+			if st := q.jobs[id].state; st == StateDone || st == StateDead {
+				terminal++
+			}
+		}
+		if terminal > retain {
+			shed = terminal - retain
+		}
+	}
+	for _, id := range q.order {
+		jb := q.jobs[id]
+		if shed > 0 && (jb.state == StateDone || jb.state == StateDead) {
+			shed--
+			cp.Shed++
+			continue
+		}
+		cj := CheckpointJob{
+			ID:         jb.id,
+			Spec:       jb.spec,
+			State:      jb.state,
+			Deliveries: jb.deliveries,
+			Worker:     jb.worker,
+			Hash:       jb.hash,
+			Manifest:   jb.manifest,
+			LastError:  jb.lastErr,
+		}
+		if !jb.deadline.IsZero() {
+			cj.Deadline = jb.deadline.UnixNano()
+		}
+		if !jb.notBefore.IsZero() {
+			cj.NotBefore = jb.notBefore.UnixNano()
+		}
+		cp.Jobs = append(cp.Jobs, cj)
+	}
+	return Record{Type: RecCheckpoint, Checkpoint: cp, At: q.now().UnixNano()}
+}
+
+// Shed returns the cumulative count of terminal jobs dropped by
+// compaction checkpoints under Policy.RetainTerminal.
+func (q *Queue) Shed() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.shed
 }
 
 // wake signals one waiting lessee without blocking.

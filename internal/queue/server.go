@@ -131,7 +131,7 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	id, err := d.Submit(json.RawMessage(body))
 	switch {
 	case err == nil:
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrDegraded):
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, ErrClosed):

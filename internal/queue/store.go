@@ -5,50 +5,83 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 
+	"asap/internal/iofault"
 	"asap/internal/metrics"
-	"asap/internal/resultcache"
 )
 
 // Store is a content-addressed artifact store: objects live at
-// objects/<aa>/<rest-of-sha256>, written via temp-file + rename so a
-// crash can never leave a half-written object under its final name.
+// objects/<aa>/<rest-of-sha256>, written via temp-file + fsync + rename
+// + directory fsync so a crash can never leave a half-written object
+// under its final name, and a committed object survives power loss.
 // Puts are idempotent — re-running a redelivered job that produced the
 // same bytes lands on the same address, which is what makes at-least-once
 // execution look exactly-once to every reader.
 type Store struct {
-	dir string
+	dir  string
+	fsys iofault.FS
+
+	// bytes tracks the store's on-disk footprint (objects only), seeded
+	// by a walk at open and advanced by every new object committed. The
+	// disk-budget watermarks read it on the hot path, so it must be a
+	// counter, not a walk.
+	bytes atomic.Int64
 
 	// Service instruments, attached by the daemon; nil-safe.
 	metPuts     *metrics.Counter
 	metDedup    *metrics.Counter
 	metPutBytes *metrics.Counter
+	metIOErrs   *metrics.CounterVec // labels: path, class
 }
 
 // setMetrics attaches put/dedup/byte counters.
-func (s *Store) setMetrics(puts, dedup, bytes *metrics.Counter) {
-	s.metPuts, s.metDedup, s.metPutBytes = puts, dedup, bytes
+func (s *Store) setMetrics(puts, dedup, bytes *metrics.Counter, ioErrs *metrics.CounterVec) {
+	s.metPuts, s.metDedup, s.metPutBytes, s.metIOErrs = puts, dedup, bytes, ioErrs
+}
+
+// countIOErr charges one I/O failure to the store's error family.
+func (s *Store) countIOErr(err error) {
+	if s.metIOErrs != nil {
+		s.metIOErrs.With("store", iofault.Classify(err)).Inc()
+	}
 }
 
 // ErrBadHash rejects malformed or path-escaping artifact addresses.
 var ErrBadHash = errors.New("queue: malformed artifact hash")
 
 // OpenStore creates (if needed) and opens the object store rooted at
-// dir. Temp files orphaned by a kill -9 mid-Put (written but never
-// renamed into place) are swept on open — they are invisible to every
-// reader and would otherwise accumulate forever.
+// dir on the real filesystem.
 func OpenStore(dir string) (*Store, error) {
-	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
-		return nil, err
-	}
-	if err := resultcache.SweepOrphans(filepath.Join(dir, "objects")); err != nil {
-		return nil, err
-	}
-	return &Store{dir: dir}, nil
+	return OpenStoreFS(iofault.OS{}, dir)
 }
+
+// OpenStoreFS opens the store through an explicit filesystem — the seam
+// the hostile-I/O campaign injects faults through. Temp files orphaned
+// by a kill -9 mid-Put (written but never renamed into place) are swept
+// from the whole store tree on open — they are invisible to every
+// reader and would otherwise accumulate forever.
+func OpenStoreFS(fsys iofault.FS, dir string) (*Store, error) {
+	objects := filepath.Join(dir, "objects")
+	if err := fsys.MkdirAll(objects, 0o755); err != nil {
+		return nil, err
+	}
+	if _, err := iofault.SweepTmp(fsys, dir); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, fsys: fsys}
+	n, err := iofault.DirBytes(fsys, objects)
+	if err != nil {
+		return nil, err
+	}
+	s.bytes.Store(n)
+	return s, nil
+}
+
+// Bytes returns the store's current on-disk footprint.
+func (s *Store) Bytes() int64 { return s.bytes.Load() }
 
 // HashBytes returns the store address of b: "sha256-" + hex digest.
 func HashBytes(b []byte) string {
@@ -75,39 +108,30 @@ func (s *Store) objectPath(hexpart string) string {
 
 // Put stores b and returns its address. Existing objects are trusted by
 // name (content addressing makes overwrites pointless) and the write is
-// durable — fsynced before rename — when Put returns.
+// durable — fsynced, renamed, parent directory fsynced — when Put
+// returns. On any failure the object is absent under its final name:
+// readers see all of it or none of it, and the failed temp file is
+// removed (or swept at next open if even that fails).
 func (s *Store) Put(b []byte) (string, error) {
 	hash := HashBytes(b)
 	hexpart, _ := parseHash(hash)
 	final := s.objectPath(hexpart)
 	s.metPuts.Inc()
 	s.metPutBytes.Add(float64(len(b)))
-	if _, err := os.Stat(final); err == nil {
+	if _, err := s.fsys.Stat(final); err == nil {
 		s.metDedup.Inc()
 		return hash, nil
 	}
-	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+	dir := filepath.Dir(final)
+	if err := s.fsys.MkdirAll(dir, 0o755); err != nil {
+		s.countIOErr(err)
 		return "", err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(final), ".tmp-*")
-	if err != nil {
+	if err := iofault.WriteDurable(s.fsys, dir, final, b); err != nil {
+		s.countIOErr(err)
 		return "", err
 	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		return "", err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return "", err
-	}
-	if err := tmp.Close(); err != nil {
-		return "", err
-	}
-	if err := os.Rename(tmp.Name(), final); err != nil {
-		return "", err
-	}
+	s.bytes.Add(int64(len(b)))
 	return hash, nil
 }
 
@@ -117,7 +141,7 @@ func (s *Store) Get(hash string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return os.ReadFile(s.objectPath(hexpart))
+	return s.fsys.ReadFile(s.objectPath(hexpart))
 }
 
 // Has reports whether the object exists.
@@ -126,7 +150,7 @@ func (s *Store) Has(hash string) bool {
 	if err != nil {
 		return false
 	}
-	_, serr := os.Stat(s.objectPath(hexpart))
+	_, serr := s.fsys.Stat(s.objectPath(hexpart))
 	return serr == nil
 }
 

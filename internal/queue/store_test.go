@@ -106,6 +106,8 @@ func TestOpenStoreSweepsOrphanTmpFiles(t *testing.T) {
 	orphans := []string{
 		filepath.Join(dir, "objects", ".tmp-1234"),
 		filepath.Join(filepath.Dir(objPath), ".tmp-5678"),
+		// Debris at the store root (outside objects/) is reaped too.
+		filepath.Join(dir, ".tmp-9abc"),
 	}
 	for _, p := range orphans {
 		if err := os.WriteFile(p, []byte("half-written"), 0o644); err != nil {
@@ -123,6 +125,43 @@ func TestOpenStoreSweepsOrphanTmpFiles(t *testing.T) {
 	}
 	if got, err := st2.Get(hash); err != nil || string(got) != "real artifact" {
 		t.Fatalf("real object lost in sweep: %q, %v", got, err)
+	}
+}
+
+// TestStoreBytesAccounting: the footprint counter tracks committed
+// objects, survives reopen (re-seeded by walking), and ignores orphaned
+// temp debris (swept before counting).
+func TestStoreBytesAccounting(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bytes() != 0 {
+		t.Fatalf("fresh store reports %d bytes", st.Bytes())
+	}
+	a, b := []byte("first object"), []byte("second, longer object")
+	st.Put(a)
+	st.Put(b)
+	want := int64(len(a) + len(b))
+	if st.Bytes() != want {
+		t.Fatalf("after 2 puts: %d bytes, want %d", st.Bytes(), want)
+	}
+	// Dedup put: no growth.
+	st.Put(a)
+	if st.Bytes() != want {
+		t.Fatalf("after dedup put: %d bytes, want %d", st.Bytes(), want)
+	}
+	// Plant debris; reopen must sweep it and re-derive the same total.
+	if err := os.WriteFile(filepath.Join(dir, "objects", ".tmp-zzz"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Bytes() != want {
+		t.Fatalf("after reopen: %d bytes, want %d", st2.Bytes(), want)
 	}
 }
 

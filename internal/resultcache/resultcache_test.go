@@ -205,3 +205,101 @@ func TestStoreRejectsMalformedKeys(t *testing.T) {
 		}
 	}
 }
+
+// TestStoreBytesAndShed: the footprint counter tracks committed
+// entries, survives reopen, and Shed empties the cache, returning the
+// bytes it freed — the degraded-mode contract.
+func TestStoreBytesAndShed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Bytes() != 0 {
+		t.Fatalf("fresh cache reports %d bytes", s.Bytes())
+	}
+	keys := []string{
+		NewKey().Field("k", "1").Sum(),
+		NewKey().Field("k", "2").Sum(),
+		NewKey().Field("k", "3").Sum(),
+	}
+	var want int64
+	for i, k := range keys {
+		payload := bytes.Repeat([]byte{byte('a' + i)}, 100*(i+1))
+		if err := s.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+		want += int64(headerLen + len(payload))
+	}
+	if s.Bytes() != want {
+		t.Fatalf("after 3 puts: %d bytes, want %d", s.Bytes(), want)
+	}
+	// Overwrite put: footprint reflects the new size, not the sum.
+	if err := s.Put(keys[0], []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	want += int64(headerLen+4) - int64(headerLen+100)
+	if s.Bytes() != want {
+		t.Fatalf("after overwrite: %d bytes, want %d", s.Bytes(), want)
+	}
+	// Reopen re-derives the same footprint by walking.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Bytes() != want {
+		t.Fatalf("after reopen: %d bytes, want %d", s2.Bytes(), want)
+	}
+
+	freed, err := s2.Shed()
+	if err != nil {
+		t.Fatalf("shed: %v", err)
+	}
+	if freed != want {
+		t.Fatalf("shed freed %d bytes, want %d", freed, want)
+	}
+	if s2.Bytes() != 0 {
+		t.Fatalf("cache reports %d bytes after shed", s2.Bytes())
+	}
+	for _, k := range keys {
+		if _, ok := s2.Get(k); ok {
+			t.Fatalf("key %s survived shed", k)
+		}
+	}
+	// The cache keeps working after a shed: recomputed entries land.
+	if err := s2.Put(keys[0], []byte("recomputed")); err != nil {
+		t.Fatalf("put after shed: %v", err)
+	}
+	if got, ok := s2.Get(keys[0]); !ok || string(got) != "recomputed" {
+		t.Fatalf("get after shed: %q, %v", got, ok)
+	}
+}
+
+// TestCorruptEntryRemovalAdjustsBytes: a corrupt cell is removed on Get
+// and its size leaves the footprint.
+func TestCorruptEntryRemovalAdjustsBytes(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := NewKey().Field("k", "v").Sum()
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "cells", key[:2], key[2:])
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if s.Bytes() != 0 {
+		t.Fatalf("footprint %d after corrupt-entry removal, want 0", s.Bytes())
+	}
+}

@@ -6,10 +6,10 @@ import (
 	"errors"
 	"hash/crc32"
 	"io/fs"
-	"os"
 	"path/filepath"
-	"strings"
 	"sync/atomic"
+
+	"asap/internal/iofault"
 )
 
 // Entry format: a fixed header in front of the payload so a truncated or
@@ -30,54 +30,83 @@ const (
 var ErrCorrupt = errors.New("resultcache: corrupt entry")
 
 // Store is the on-disk cell cache: entries live at cells/<aa>/<rest of
-// key digest>, written via temp file + fsync + rename so a crash can
-// never leave a half-written entry under its final name. Opening the
-// store sweeps temp files orphaned by a kill -9 mid-Put. Hit/miss/put
-// counters are atomic, so one Store may serve a whole worker pool.
+// key digest>, written via temp file + fsync + rename + directory fsync
+// so a crash can never leave a half-written entry under its final name.
+// Opening the store sweeps temp files orphaned by a kill -9 mid-Put.
+// Hit/miss/put counters are atomic, so one Store may serve a whole
+// worker pool.
+//
+// The cache is the shedable store: it holds only recomputable results,
+// so the disk-budget degraded mode empties it first when a watermark is
+// breached (Shed).
 type Store struct {
-	dir string
+	dir  string
+	fsys iofault.FS
 
 	hits   atomic.Int64
 	misses atomic.Int64
 	puts   atomic.Int64
+
+	// bytes tracks the cells' on-disk footprint, seeded by a walk at
+	// open, advanced by Puts, reduced by corrupt-entry removal and Shed.
+	bytes atomic.Int64
+
+	// onErr, when set, observes every I/O failure (the daemon maps it to
+	// asapd_io_errors_total{path="resultcache"}). Atomic-free: set once
+	// at open, before the store is shared.
+	onErr func(error)
 }
 
-// Open creates (if needed) and opens the cache rooted at dir, removing
-// any orphaned .tmp-* files a crashed writer left behind.
+// Open creates (if needed) and opens the cache rooted at dir on the
+// real filesystem, removing any orphaned .tmp-* files a crashed writer
+// left behind.
 func Open(dir string) (*Store, error) {
+	return OpenFS(iofault.OS{}, dir)
+}
+
+// OpenFS opens the cache through an explicit filesystem — the seam the
+// hostile-I/O campaign injects faults through.
+func OpenFS(fsys iofault.FS, dir string) (*Store, error) {
 	cells := filepath.Join(dir, "cells")
-	if err := os.MkdirAll(cells, 0o755); err != nil {
+	if err := fsys.MkdirAll(cells, 0o755); err != nil {
 		return nil, err
 	}
-	if err := SweepOrphans(cells); err != nil {
+	if _, err := iofault.SweepTmp(fsys, cells); err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir, fsys: fsys}
+	n, err := iofault.DirBytes(fsys, cells)
+	if err != nil {
+		return nil, err
+	}
+	s.bytes.Store(n)
+	return s, nil
+}
+
+// SetErrorHook registers an observer for I/O failures. Call before the
+// store is shared.
+func (s *Store) SetErrorHook(fn func(error)) { s.onErr = fn }
+
+func (s *Store) ioErr(err error) {
+	if s.onErr != nil {
+		s.onErr(err)
+	}
 }
 
 // SweepOrphans removes .tmp-* files under root: the half-written temp
 // files a kill -9 mid-Put strands, which would otherwise accumulate
-// forever. Shared with the queue's artifact store, which follows the
-// same write discipline.
+// forever. Shared historically with the queue's artifact store; both now
+// delegate to iofault.SweepTmp.
 func SweepOrphans(root string) error {
-	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			if errors.Is(err, fs.ErrNotExist) {
-				return nil
-			}
-			return err
-		}
-		if !d.IsDir() && strings.HasPrefix(d.Name(), ".tmp-") {
-			if rerr := os.Remove(path); rerr != nil && !errors.Is(rerr, fs.ErrNotExist) {
-				return rerr
-			}
-		}
-		return nil
-	})
+	_, err := iofault.SweepTmp(iofault.OS{}, root)
+	return err
 }
 
 // Dir returns the cache root.
 func (s *Store) Dir() string { return s.dir }
+
+// Bytes returns the cache's current on-disk footprint (cells only).
+func (s *Store) Bytes() int64 { return s.bytes.Load() }
 
 // entryPath maps a key digest to its on-disk path, rejecting anything
 // that is not a hex sha256 so keys cannot escape the cache directory.
@@ -100,14 +129,19 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		s.misses.Add(1)
 		return nil, false
 	}
-	raw, err := os.ReadFile(path)
+	raw, err := s.fsys.ReadFile(path)
 	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.ioErr(err)
+		}
 		s.misses.Add(1)
 		return nil, false
 	}
 	payload, err := decodeEntry(raw)
 	if err != nil {
-		os.Remove(path)
+		if rerr := s.fsys.Remove(path); rerr == nil {
+			s.bytes.Add(-int64(len(raw)))
+		}
 		s.misses.Add(1)
 		return nil, false
 	}
@@ -115,38 +149,88 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	return payload, true
 }
 
-// Put stores payload under key. The write is durable — fsynced before
-// rename — when Put returns; concurrent Puts of the same key are safe
-// (last rename wins, both contents identical by keying discipline).
+// Put stores payload under key. The write is durable — fsynced, renamed,
+// parent directory fsynced — when Put returns; concurrent Puts of the
+// same key are safe (last rename wins, both contents identical by keying
+// discipline). On failure the entry is absent or holds its previous
+// value, never a mix.
 func (s *Store) Put(key string, payload []byte) error {
 	path, err := s.entryPath(key)
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	dir := filepath.Dir(path)
+	if err := s.fsys.MkdirAll(dir, 0o755); err != nil {
+		s.ioErr(err)
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
+	entry := encodeEntry(payload)
+	var prev int64
+	if st, err := s.fsys.Stat(path); err == nil {
+		prev = st.Size()
+	}
+	if err := iofault.WriteDurable(s.fsys, dir, path, entry); err != nil {
+		s.ioErr(err)
 		return err
 	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(encodeEntry(payload)); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return err
-	}
+	s.bytes.Add(int64(len(entry)) - prev)
 	s.puts.Add(1)
 	return nil
+}
+
+// Shed empties the cache — the degraded-mode response to a disk-budget
+// breach: every cell is recomputable, so dropping them trades CPU for
+// disk without losing anything durable. Returns the bytes freed. Errors
+// on individual removals are reported through the hook but do not stop
+// the shed; the cache keeps operating either way.
+func (s *Store) Shed() (int64, error) {
+	cells := filepath.Join(s.dir, "cells")
+	var freed int64
+	var firstErr error
+	ents, err := s.fsys.ReadDir(cells)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil
+		}
+		s.ioErr(err)
+		return 0, err
+	}
+	for _, bucket := range ents {
+		if !bucket.IsDir() {
+			continue
+		}
+		bdir := filepath.Join(cells, bucket.Name())
+		files, err := s.fsys.ReadDir(bdir)
+		if err != nil {
+			s.ioErr(err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		for _, f := range files {
+			if f.IsDir() {
+				continue
+			}
+			p := filepath.Join(bdir, f.Name())
+			info, ierr := f.Info()
+			if rerr := s.fsys.Remove(p); rerr != nil && !errors.Is(rerr, fs.ErrNotExist) {
+				s.ioErr(rerr)
+				if firstErr == nil {
+					firstErr = rerr
+				}
+				continue
+			}
+			if ierr == nil {
+				freed += info.Size()
+			}
+		}
+	}
+	s.bytes.Add(-freed)
+	if s.bytes.Load() < 0 {
+		s.bytes.Store(0)
+	}
+	return freed, firstErr
 }
 
 // Stats returns the lifetime hit/miss/put counts.

@@ -14,6 +14,7 @@
 package snapshot
 
 import (
+	"asap/internal/iofault"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -21,7 +22,6 @@ import (
 	"fmt"
 	"hash"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 )
 
@@ -173,12 +173,20 @@ func (s Snap) Diff(o Snap) []string {
 }
 
 // File format: magic + version + CRC32 of the JSON payload + length +
-// payload, written via temp + fsync + rename — the same corruption and
-// crash discipline as the result cache.
+// payload, written via temp + fsync + rename + parent-directory fsync —
+// the same corruption and crash discipline as the result cache.
 const fileMagic = "ASSN"
 
-// WriteFile durably writes snap to path.
+// WriteFile durably writes snap to path on the real filesystem.
 func WriteFile(path string, snap Snap) error {
+	return WriteFileFS(iofault.OS{}, path, snap)
+}
+
+// WriteFileFS durably writes snap to path through an explicit
+// filesystem — the seam the hostile-I/O campaign injects faults
+// through. On any failure path holds its previous content (or remains
+// absent), never a torn mix.
+func WriteFileFS(fsys iofault.FS, path string, snap Snap) error {
 	payload, err := json.Marshal(snap)
 	if err != nil {
 		return err
@@ -189,30 +197,19 @@ func WriteFile(path string, snap Snap) error {
 	binary.LittleEndian.PutUint32(buf[8:12], crc32.ChecksumIEEE(payload))
 	binary.LittleEndian.PutUint32(buf[12:16], uint32(len(payload)))
 	copy(buf[16:], payload)
-
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return iofault.WriteDurable(fsys, filepath.Dir(path), path, buf)
 }
 
 // ReadFile reads and validates a snapshot written by WriteFile.
 func ReadFile(path string) (Snap, error) {
-	raw, err := os.ReadFile(path)
+	return ReadFileFS(iofault.OS{}, path)
+}
+
+// ReadFileFS reads and validates a snapshot through an explicit
+// filesystem. Validation is fail-closed: any framing or checksum damage
+// is an error, never a silently partial snapshot.
+func ReadFileFS(fsys iofault.FS, path string) (Snap, error) {
+	raw, err := fsys.ReadFile(path)
 	if err != nil {
 		return Snap{}, err
 	}
